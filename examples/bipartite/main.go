@@ -1,0 +1,87 @@
+// Bipartite: co-cluster a user-item interaction graph with the
+// degree-discounted similarity — the paper's §6 future-work extension.
+// Users never link to users and items never link to items, so EVERY
+// cluster here is of the Figure-1 kind: visible only through shared
+// links.
+//
+// Run with: go run ./examples/bipartite
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"symcluster"
+)
+
+func main() {
+	// Synthetic user-item data: 4 taste communities, each preferring
+	// its own item catalogue, plus a few blockbuster items everyone
+	// interacts with (the bipartite analogue of hub pages).
+	const (
+		communities  = 4
+		usersPer     = 50
+		itemsPer     = 30
+		blockbusters = 5
+	)
+	rng := rand.New(rand.NewSource(42))
+	users := communities * usersPer
+	items := communities*itemsPer + blockbusters
+	b := symcluster.NewMatrixBuilder(users, items)
+	for u := 0; u < users; u++ {
+		comm := u / usersPer
+		for i := 0; i < items; i++ {
+			var p float64
+			switch {
+			case i >= communities*itemsPer:
+				p = 0.5 // blockbusters: everyone watches
+			case i/itemsPer == comm:
+				p = 0.3 // own catalogue
+			default:
+				p = 0.01
+			}
+			if rng.Float64() < p {
+				b.Add(u, i, 1)
+			}
+		}
+	}
+	biadj := b.Build()
+	fmt.Printf("interaction graph: %d users x %d items, %d interactions\n\n",
+		users, items, biadj.NNZ())
+
+	res, err := symcluster.CoClusterBipartite(biadj, symcluster.BipartiteOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d user clusters and %d item clusters\n", res.RowK, res.ColK)
+
+	// Check community recovery: each planted community should map to
+	// one dominant user cluster.
+	for comm := 0; comm < communities; comm++ {
+		counts := map[int]int{}
+		for u := comm * usersPer; u < (comm+1)*usersPer; u++ {
+			counts[res.RowAssign[u]]++
+		}
+		best, bestN := -1, 0
+		for c, n := range counts {
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		fmt.Printf("community %d: %2d/%d users in cluster %d\n", comm, bestN, usersPer, best)
+	}
+
+	// Item-side alignment: catalogue items follow their community;
+	// blockbusters attach to whichever cluster dominates them.
+	aligned := 0
+	for cc, rc := range res.ColToRow {
+		if rc >= 0 {
+			aligned++
+		}
+		_ = cc
+	}
+	fmt.Printf("\n%d of %d item clusters aligned to a user cluster\n", aligned, res.ColK)
+	fmt.Println("Degree-discounting keeps the blockbuster items from gluing all")
+	fmt.Println("user communities into one cluster — the same hub fix as on the web graph.")
+}

@@ -1,0 +1,3 @@
+module symcluster
+
+go 1.22

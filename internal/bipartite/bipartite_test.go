@@ -1,0 +1,190 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+// plantedBipartite builds k planted co-clusters: rows of block i
+// connect (with probability pin) to columns of block i, and with pout
+// to other columns.
+func plantedBipartite(rng *rand.Rand, k, rowsPer, colsPer int, pin, pout float64) (*matrix.CSR, []int, []int) {
+	rows, cols := k*rowsPer, k*colsPer
+	rowTruth := make([]int, rows)
+	colTruth := make([]int, cols)
+	b := matrix.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		rowTruth[i] = i / rowsPer
+		for j := 0; j < cols; j++ {
+			colTruth[j] = j / colsPer
+			p := pout
+			if rowTruth[i] == j/colsPer {
+				p = pin
+			}
+			if rng.Float64() < p {
+				b.Add(i, j, 1)
+			}
+		}
+	}
+	return b.Build(), rowTruth, colTruth
+}
+
+func purity(assign, truth []int) float64 {
+	groups := map[int]map[int]int{}
+	for i, a := range assign {
+		if groups[truth[i]] == nil {
+			groups[truth[i]] = map[int]int{}
+		}
+		groups[truth[i]][a]++
+	}
+	var total, sum float64
+	for _, counts := range groups {
+		best, n := 0, 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+			n += c
+		}
+		sum += float64(best)
+		total += float64(n)
+	}
+	return sum / total
+}
+
+func TestRowSimilaritySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b, _, _ := plantedBipartite(rng, 3, 15, 10, 0.5, 0.02)
+	rs := RowSimilarity(b, Options{})
+	if !rs.IsSymmetric(1e-9) {
+		t.Fatal("row similarity not symmetric")
+	}
+	if rs.Rows != b.Rows {
+		t.Fatalf("row similarity dims %d", rs.Rows)
+	}
+	cs := ColSimilarity(b, Options{})
+	if !cs.IsSymmetric(1e-9) {
+		t.Fatal("column similarity not symmetric")
+	}
+	if cs.Rows != b.Cols {
+		t.Fatalf("column similarity dims %d", cs.Rows)
+	}
+}
+
+func TestRowSimilarityFavoursSameBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, rowTruth, _ := plantedBipartite(rng, 2, 20, 15, 0.6, 0.02)
+	rs := RowSimilarity(b, Options{})
+	var same, cross float64
+	var sameN, crossN int
+	for i := 0; i < rs.Rows; i++ {
+		cols, vals := rs.Row(i)
+		for k, c := range cols {
+			if rowTruth[i] == rowTruth[c] {
+				same += vals[k]
+				sameN++
+			} else {
+				cross += vals[k]
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || same/float64(sameN) <= cross/float64(max(crossN, 1)) {
+		t.Fatalf("same-block similarity not above cross-block: %v vs %v",
+			same/float64(max(sameN, 1)), cross/float64(max(crossN, 1)))
+	}
+}
+
+func TestCoClusterRecoversBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, rowTruth, colTruth := plantedBipartite(rng, 4, 20, 15, 0.5, 0.01)
+	res, err := CoCluster(b, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(res.RowAssign, rowTruth); p < 0.9 {
+		t.Fatalf("row purity %v", p)
+	}
+	if p := purity(res.ColAssign, colTruth); p < 0.9 {
+		t.Fatalf("column purity %v", p)
+	}
+}
+
+func TestCoClusterAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b, rowTruth, colTruth := plantedBipartite(rng, 3, 20, 15, 0.6, 0.01)
+	res, err := CoCluster(b, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each column cluster dominated by true block t, its aligned
+	// row cluster should be dominated by the same block.
+	colBlock := dominantBlock(res.ColAssign, colTruth, res.ColK)
+	rowBlock := dominantBlock(res.RowAssign, rowTruth, res.RowK)
+	matched := 0
+	for cc, rc := range res.ColToRow {
+		if rc < 0 {
+			continue
+		}
+		if colBlock[cc] == rowBlock[rc] {
+			matched++
+		}
+	}
+	if matched < len(res.ColToRow)*2/3 {
+		t.Fatalf("only %d/%d column clusters aligned with their block's row cluster",
+			matched, len(res.ColToRow))
+	}
+}
+
+// dominantBlock maps each cluster id to the true block holding most of
+// its members.
+func dominantBlock(assign, truth []int, k int) []int {
+	counts := make([]map[int]int, k)
+	for i, a := range assign {
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][truth[i]]++
+	}
+	out := make([]int, k)
+	for c := range out {
+		best, bestN := -1, 0
+		for blk, n := range counts[c] {
+			if n > bestN {
+				best, bestN = blk, n
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+func TestCoClusterEmptyColumnCluster(t *testing.T) {
+	// A column with no edges forms its own cluster with ColToRow -1.
+	b := matrix.FromDense([][]float64{
+		{1, 0},
+		{1, 0},
+	})
+	res, err := CoCluster(b, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundUnaligned := false
+	for _, rc := range res.ColToRow {
+		if rc == -1 {
+			foundUnaligned = true
+		}
+	}
+	if !foundUnaligned {
+		t.Fatalf("edgeless column cluster should be unaligned: %+v", res)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

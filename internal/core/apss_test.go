@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func TestAPSSBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		a := randomDirected(rng, 30, 4)
+
+		for _, dropDiag := range []bool{true, false} {
+			spgemm := Options{Alpha: 0.5, Beta: 0.5, Threshold: 0.1, DropDiagonal: dropDiag}
+			apss := spgemm
+			apss.UseAPSS = true
+
+			u1, err := SymmetrizeDegreeDiscounted(a, spgemm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u2, err := SymmetrizeDegreeDiscounted(a, apss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(u1, u2, 1e-9) {
+				t.Fatalf("trial %d dropDiag=%v: APSS degree-discounted differs from SpGEMM", trial, dropDiag)
+			}
+
+			b1 := SymmetrizeBibliometric(a, Options{Threshold: 2, DropDiagonal: dropDiag})
+			b2 := SymmetrizeBibliometric(a, Options{Threshold: 2, DropDiagonal: dropDiag, UseAPSS: true})
+			if !matrix.Equal(b1, b2, 1e-9) {
+				t.Fatalf("trial %d dropDiag=%v: APSS bibliometric differs from SpGEMM", trial, dropDiag)
+			}
+		}
+	}
+}
+
+func TestParallelWorkersEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	a := randomDirected(rng, 200, 5)
+	seq := Defaults()
+	seq.Threshold = 0.05
+	par := seq
+	par.Workers = 4
+	u1, err := SymmetrizeDegreeDiscounted(a, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := SymmetrizeDegreeDiscounted(a, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(u1, u2, 0) {
+		t.Fatal("parallel degree-discounted differs from sequential")
+	}
+	b1 := SymmetrizeBibliometric(a, Options{Threshold: 2, DropDiagonal: true})
+	b2 := SymmetrizeBibliometric(a, Options{Threshold: 2, DropDiagonal: true, Workers: 4})
+	if !matrix.Equal(b1, b2, 0) {
+		t.Fatal("parallel bibliometric differs from sequential")
+	}
+}
+
+func TestAPSSZeroThresholdFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := randomDirected(rng, 20, 3)
+	opt := Defaults()
+	opt.UseAPSS = true // Threshold stays 0 → SpGEMM fallback
+	u1, err := SymmetrizeDegreeDiscounted(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.UseAPSS = false
+	u2, err := SymmetrizeDegreeDiscounted(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(u1, u2, 1e-12) {
+		t.Fatal("APSS with zero threshold should fall back to SpGEMM result")
+	}
+}

@@ -1,0 +1,133 @@
+// Package ensemble implements consensus clustering: run a base
+// clusterer several times with different seeds, score each graph edge
+// by how often its endpoints land in the same cluster, and keep the
+// groups that survive a co-association threshold. Randomised
+// clusterers (MLR-MCL's matching order, k-means seeding) produce
+// seed-dependent results; the consensus extracts their stable core.
+//
+// Co-association is evaluated only on the edges of the input graph, so
+// the cost is O(runs · edges) instead of the quadratic all-pairs
+// co-association matrix.
+package ensemble
+
+import (
+	"fmt"
+
+	"symcluster/internal/matrix"
+)
+
+// Clusterer produces one clustering of the fixed graph per seed.
+type Clusterer func(seed int64) ([]int, error)
+
+// Options configures Consensus.
+type Options struct {
+	// Runs is the ensemble size. Defaults to 10.
+	Runs int
+	// Agreement is the fraction of runs two adjacent nodes must share a
+	// cluster in for their edge to survive into the consensus graph.
+	// Defaults to 0.7.
+	Agreement float64
+	// BaseSeed offsets the per-run seeds.
+	BaseSeed int64
+}
+
+func (o *Options) fill() {
+	if o.Runs <= 0 {
+		o.Runs = 10
+	}
+	if o.Agreement <= 0 || o.Agreement > 1 {
+		o.Agreement = 0.7
+	}
+}
+
+// Result carries the consensus clustering.
+type Result struct {
+	// Assign maps nodes to consensus cluster ids in [0, K).
+	Assign []int
+	// K is the number of consensus clusters.
+	K int
+	// Stability is the mean per-edge co-association over the ensemble,
+	// in [0, 1]: how much the base clusterer agrees with itself.
+	Stability float64
+}
+
+// Consensus runs the clusterer Runs times over the symmetric adjacency
+// adj and returns the connected components of the edges whose
+// endpoints co-cluster in at least Agreement of the runs.
+func Consensus(adj *matrix.CSR, cluster Clusterer, opt Options) (*Result, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("ensemble: adjacency %dx%d not square", adj.Rows, adj.Cols)
+	}
+	opt.fill()
+	n := adj.Rows
+
+	// Count co-associations per stored edge.
+	counts := make([]int, adj.NNZ())
+	for r := 0; r < opt.Runs; r++ {
+		assign, err := cluster(opt.BaseSeed + int64(r))
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: run %d: %w", r, err)
+		}
+		if len(assign) != n {
+			return nil, fmt.Errorf("ensemble: run %d returned %d assignments for %d nodes", r, len(assign), n)
+		}
+		for i := 0; i < n; i++ {
+			cols, _ := adj.Row(i)
+			base := adj.RowPtr[i]
+			for k, c := range cols {
+				if assign[i] == assign[c] {
+					counts[int(base)+k]++
+				}
+			}
+		}
+	}
+
+	var stability float64
+	if adj.NNZ() > 0 {
+		var sum int
+		for _, c := range counts {
+			sum += c
+		}
+		stability = float64(sum) / float64(adj.NNZ()*opt.Runs)
+	}
+
+	// Union-find over surviving edges.
+	need := int(opt.Agreement*float64(opt.Runs) + 0.999999)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		cols, _ := adj.Row(i)
+		base := adj.RowPtr[i]
+		for k, c := range cols {
+			if counts[int(base)+k] >= need {
+				ri, rc := find(int32(i)), find(c)
+				if ri != rc {
+					parent[ri] = rc
+				}
+			}
+		}
+	}
+
+	ids := map[int32]int{}
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		id, ok := ids[r]
+		if !ok {
+			id = len(ids)
+			ids[r] = id
+		}
+		assign[i] = id
+	}
+	return &Result{Assign: assign, K: len(ids), Stability: stability}, nil
+}

@@ -1,0 +1,131 @@
+package ensemble
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+	"symcluster/internal/mcl"
+)
+
+func blocks(rng *rand.Rand, k, sz int, pin, pout float64) (*matrix.CSR, []int) {
+	n := k * sz
+	truth := make([]int, n)
+	for i := range truth {
+		truth[i] = i / sz
+	}
+	b := matrix.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pout
+			if truth[i] == truth[j] {
+				p = pin
+			}
+			if rng.Float64() < p {
+				b.Add(i, j, 1)
+				b.Add(j, i, 1)
+			}
+		}
+	}
+	return b.Build(), truth
+}
+
+func TestConsensusRecoversStableBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	adj, truth := blocks(rng, 4, 25, 0.4, 0.01)
+	res, err := Consensus(adj, func(seed int64) ([]int, error) {
+		r, err := mcl.Cluster(adj, mcl.Options{Inflation: 1.5, Multilevel: true, CoarsenTo: 30, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Assign, nil
+	}, Options{Runs: 5, Agreement: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stability < 0.5 {
+		t.Fatalf("stability %v too low for clean blocks", res.Stability)
+	}
+	// Each block should stay together in the consensus.
+	for blk := 0; blk < 4; blk++ {
+		counts := map[int]int{}
+		for i := blk * 25; i < (blk+1)*25; i++ {
+			counts[res.Assign[i]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if best < 20 {
+			t.Fatalf("block %d scattered in consensus: %v", blk, counts)
+		}
+	}
+	_ = truth
+}
+
+func TestConsensusPerfectAgreement(t *testing.T) {
+	adj, truth := blocks(rand.New(rand.NewSource(2)), 3, 10, 0.8, 0)
+	res, err := Consensus(adj, func(seed int64) ([]int, error) {
+		return truth, nil // deterministic clusterer
+	}, Options{Runs: 4, Agreement: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stability < 0.99 {
+		t.Fatalf("stability %v for deterministic clusterer", res.Stability)
+	}
+	if res.K != 3 {
+		t.Fatalf("K = %d, want 3", res.K)
+	}
+}
+
+func TestConsensusDisagreementSplits(t *testing.T) {
+	// A clusterer that alternates between two incompatible partitions:
+	// no edge survives a 0.9 agreement bar on the cross pairs.
+	adj, _ := blocks(rand.New(rand.NewSource(3)), 1, 10, 1, 0)
+	res, err := Consensus(adj, func(seed int64) ([]int, error) {
+		assign := make([]int, 10)
+		for i := range assign {
+			if seed%2 == 0 {
+				assign[i] = i % 2
+			} else {
+				assign[i] = i / 5
+			}
+		}
+		return assign, nil
+	}, Options{Runs: 4, Agreement: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only pairs agreeing under BOTH partitions survive: same parity
+	// AND same half — {0,2,4}, {1,3}, {5,7,9}, {6,8}.
+	if res.K != 4 {
+		t.Fatalf("K = %d; want the 4 doubly-consistent groups", res.K)
+	}
+	if res.Assign[0] == res.Assign[1] || res.Assign[0] == res.Assign[5] {
+		t.Fatalf("incompatible nodes merged: %v", res.Assign)
+	}
+	if res.Assign[0] != res.Assign[2] || res.Assign[2] != res.Assign[4] {
+		t.Fatalf("doubly-consistent nodes split: %v", res.Assign)
+	}
+}
+
+func TestConsensusErrors(t *testing.T) {
+	if _, err := Consensus(matrix.Zero(2, 3), nil, Options{}); err == nil {
+		t.Fatal("accepted non-square")
+	}
+	adj := matrix.Identity(3)
+	if _, err := Consensus(adj, func(int64) ([]int, error) {
+		return nil, fmt.Errorf("boom")
+	}, Options{Runs: 2}); err == nil {
+		t.Fatal("clusterer error not propagated")
+	}
+	if _, err := Consensus(adj, func(int64) ([]int, error) {
+		return []int{0}, nil
+	}, Options{Runs: 1}); err == nil {
+		t.Fatal("accepted wrong assignment length")
+	}
+}

@@ -1,0 +1,257 @@
+// Package eval implements the paper's evaluation machinery: the
+// micro-averaged best-match F-measure of §4.3, normalised cuts
+// (undirected and directed), and the paired binomial sign test of §5.6
+// in log domain (the paper reports p-values as small as 1e-22767,
+// which only exist in log space).
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroundTruth holds overlapping category assignments: Categories[i]
+// lists the category ids of node i (nil/empty for unlabelled nodes,
+// which the paper's datasets have 20–35% of). K is the number of
+// categories.
+type GroundTruth struct {
+	Categories [][]int
+	K          int
+}
+
+// NewGroundTruth validates and wraps per-node category lists. K is
+// inferred as max id + 1.
+func NewGroundTruth(categories [][]int) (*GroundTruth, error) {
+	k := 0
+	for i, cats := range categories {
+		for _, c := range cats {
+			if c < 0 {
+				return nil, fmt.Errorf("eval: node %d has negative category %d", i, c)
+			}
+			if c+1 > k {
+				k = c + 1
+			}
+		}
+	}
+	return &GroundTruth{Categories: categories, K: k}, nil
+}
+
+// Labelled returns the number of nodes with at least one category.
+func (g *GroundTruth) Labelled() int {
+	n := 0
+	for _, cats := range g.Categories {
+		if len(cats) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// categorySizes returns |G_j| for every category.
+func (g *GroundTruth) categorySizes() []int {
+	sizes := make([]int, g.K)
+	for _, cats := range g.Categories {
+		for _, c := range cats {
+			sizes[c]++
+		}
+	}
+	return sizes
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both
+// vanish).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// ClusterScore is the evaluation of one output cluster against its
+// best-matching ground-truth category.
+type ClusterScore struct {
+	Cluster      int     // cluster id
+	Size         int     // |C_i|
+	BestCategory int     // argmax_j F(C_i, G_j); -1 when no overlap
+	Precision    float64 // |C_i ∩ G_j| / |C_i|
+	Recall       float64 // |C_i ∩ G_j| / |G_j|
+	F            float64 // harmonic mean
+}
+
+// Report is the full evaluation of a clustering.
+type Report struct {
+	// AvgF is the size-weighted (micro-averaged) mean of per-cluster
+	// best-match F-measures (paper §4.3), in [0,1].
+	AvgF float64
+	// Clusters holds the per-cluster detail, indexed by cluster id.
+	Clusters []ClusterScore
+	// K is the number of clusters evaluated.
+	K int
+}
+
+// Evaluate scores the clustering assign (node → cluster id in [0,k))
+// against the ground truth, implementing §4.3 exactly: each cluster is
+// matched with the category maximising F(C_i, G_j), and the clustering
+// score is the cluster-size-weighted average of those F values.
+// Unlabelled nodes count toward |C_i| (hurting precision) but belong to
+// no category, exactly as in the paper's datasets.
+func Evaluate(assign []int, truth *GroundTruth) (*Report, error) {
+	if len(assign) != len(truth.Categories) {
+		return nil, fmt.Errorf("eval: %d assignments for %d nodes", len(assign), len(truth.Categories))
+	}
+	k := 0
+	for i, c := range assign {
+		if c < 0 {
+			return nil, fmt.Errorf("eval: node %d has negative cluster %d", i, c)
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+
+	sizes := make([]int, k)
+	// Per-cluster overlap counts with each category, kept sparse.
+	overlap := make([]map[int]int, k)
+	for i, c := range assign {
+		sizes[c]++
+		for _, cat := range truth.Categories[i] {
+			if overlap[c] == nil {
+				overlap[c] = make(map[int]int)
+			}
+			overlap[c][cat]++
+		}
+	}
+	catSize := truth.categorySizes()
+
+	rep := &Report{K: k, Clusters: make([]ClusterScore, k)}
+	var weighted float64
+	var total int
+	for c := 0; c < k; c++ {
+		best := ClusterScore{Cluster: c, Size: sizes[c], BestCategory: -1}
+		for cat, inter := range overlap[c] {
+			p := float64(inter) / float64(sizes[c])
+			r := float64(inter) / float64(catSize[cat])
+			f := F1(p, r)
+			if f > best.F || (f == best.F && (best.BestCategory == -1 || cat < best.BestCategory)) {
+				best.BestCategory = cat
+				best.Precision = p
+				best.Recall = r
+				best.F = f
+			}
+		}
+		rep.Clusters[c] = best
+		weighted += float64(sizes[c]) * best.F
+		total += sizes[c]
+	}
+	if total > 0 {
+		rep.AvgF = weighted / float64(total)
+	}
+	return rep, nil
+}
+
+// CorrectNodes returns, for each node, whether it is "correctly
+// clustered": its cluster's best-match category contains the node.
+// This is the per-node notion of correctness used by the paired sign
+// test (§5.6). Unlabelled nodes are never correct.
+func CorrectNodes(assign []int, truth *GroundTruth) ([]bool, error) {
+	rep, err := Evaluate(assign, truth)
+	if err != nil {
+		return nil, err
+	}
+	correct := make([]bool, len(assign))
+	for i, c := range assign {
+		bc := rep.Clusters[c].BestCategory
+		if bc < 0 {
+			continue
+		}
+		for _, cat := range truth.Categories[i] {
+			if cat == bc {
+				correct[i] = true
+				break
+			}
+		}
+	}
+	return correct, nil
+}
+
+// SignTestResult holds the paired binomial sign test output.
+type SignTestResult struct {
+	// NAOnly counts nodes correct under clustering A but not B; NBOnly
+	// the converse.
+	NAOnly, NBOnly int
+	// Log10P is the one-sided p-value in log10 (e.g. -22767 means
+	// 1e-22767): the probability under the null (p = 1/2) of a split at
+	// least as extreme as the observed one.
+	Log10P float64
+}
+
+// SignTest runs the paired binomial sign test of §5.6 on two
+// correctness vectors (from CorrectNodes). The null hypothesis is that
+// a node correct under exactly one clustering is equally likely to
+// favour either; the returned p-value is one-sided toward the better
+// clustering.
+func SignTest(correctA, correctB []bool) (*SignTestResult, error) {
+	if len(correctA) != len(correctB) {
+		return nil, fmt.Errorf("eval: sign test length mismatch %d vs %d", len(correctA), len(correctB))
+	}
+	res := &SignTestResult{}
+	for i := range correctA {
+		switch {
+		case correctA[i] && !correctB[i]:
+			res.NAOnly++
+		case correctB[i] && !correctA[i]:
+			res.NBOnly++
+		}
+	}
+	n := res.NAOnly + res.NBOnly
+	if n == 0 {
+		res.Log10P = 0 // p = 1: no discordant pairs
+		return res, nil
+	}
+	k := res.NAOnly
+	if res.NBOnly > k {
+		k = res.NBOnly
+	}
+	res.Log10P = logBinomTail(n, k)
+	return res, nil
+}
+
+// logBinomTail returns log10 P(X >= k) for X ~ Binomial(n, 1/2),
+// computed in log space so that astronomically small tails stay
+// representable.
+func logBinomTail(n, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	// log P = logsumexp_{i=k..n} [ logC(n,i) - n·log 2 ].
+	ln2 := math.Log(2)
+	maxTerm := math.Inf(-1)
+	terms := make([]float64, 0, n-k+1)
+	for i := k; i <= n; i++ {
+		t := lchoose(n, i) - float64(n)*ln2
+		terms = append(terms, t)
+		if t > maxTerm {
+			maxTerm = t
+		}
+	}
+	var sum float64
+	for _, t := range terms {
+		sum += math.Exp(t - maxTerm)
+	}
+	lnP := maxTerm + math.Log(sum)
+	if lnP > 0 {
+		lnP = 0 // numerical guard: probabilities cannot exceed 1
+	}
+	return lnP / math.Ln10
+}
+
+// lchoose returns ln C(n, k) via lgamma.
+func lchoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}

@@ -1,0 +1,242 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func mustTruth(t *testing.T, cats [][]int) *GroundTruth {
+	t.Helper()
+	g, err := NewGroundTruth(cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroundTruth(t *testing.T) {
+	g := mustTruth(t, [][]int{{0, 2}, nil, {1}})
+	if g.K != 3 {
+		t.Fatalf("K = %d, want 3", g.K)
+	}
+	if g.Labelled() != 2 {
+		t.Fatalf("Labelled = %d, want 2", g.Labelled())
+	}
+	if _, err := NewGroundTruth([][]int{{-1}}); err == nil {
+		t.Fatal("accepted negative category")
+	}
+}
+
+func TestF1(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Fatal("F1(0,0) != 0")
+	}
+	if got := F1(1, 1); got != 1 {
+		t.Fatalf("F1(1,1) = %v", got)
+	}
+	if got := F1(0.5, 1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1(0.5,1) = %v", got)
+	}
+}
+
+func TestEvaluatePerfectClustering(t *testing.T) {
+	truth := mustTruth(t, [][]int{{0}, {0}, {1}, {1}})
+	rep, err := Evaluate([]int{0, 0, 1, 1}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AvgF-1) > 1e-12 {
+		t.Fatalf("AvgF = %v, want 1", rep.AvgF)
+	}
+	if rep.Clusters[0].BestCategory != 0 || rep.Clusters[1].BestCategory != 1 {
+		t.Fatalf("best categories wrong: %+v", rep.Clusters)
+	}
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	// Cluster 0 = {0,1,2}: two nodes of cat 0, one of cat 1.
+	// Cat sizes: cat0 = 2, cat1 = 2.
+	// vs cat0: P = 2/3, R = 1 → F = 0.8.
+	// vs cat1: P = 1/3, R = 1/2 → F = 0.4.
+	// Cluster 1 = {3}: cat 1. P = 1, R = 1/2 → F = 2/3.
+	// AvgF = (3·0.8 + 1·2/3) / 4 = (2.4 + 0.6667)/4 = 0.76667.
+	truth := mustTruth(t, [][]int{{0}, {0}, {1}, {1}})
+	rep, err := Evaluate([]int{0, 0, 0, 1}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*0.8 + 2.0/3.0) / 4
+	if math.Abs(rep.AvgF-want) > 1e-12 {
+		t.Fatalf("AvgF = %v, want %v", rep.AvgF, want)
+	}
+	c0 := rep.Clusters[0]
+	if c0.BestCategory != 0 || math.Abs(c0.Precision-2.0/3.0) > 1e-12 || c0.Recall != 1 {
+		t.Fatalf("cluster 0 score: %+v", c0)
+	}
+}
+
+func TestEvaluateUnlabelledNodesHurtPrecision(t *testing.T) {
+	// Cluster of 4 nodes, 2 labelled cat 0 (the entire category):
+	// P = 2/4, R = 1 → F = 2/3.
+	truth := mustTruth(t, [][]int{{0}, {0}, nil, nil})
+	rep, err := Evaluate([]int{0, 0, 0, 0}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AvgF-2.0/3.0) > 1e-12 {
+		t.Fatalf("AvgF = %v, want 2/3", rep.AvgF)
+	}
+}
+
+func TestEvaluateOverlappingCategories(t *testing.T) {
+	// Node 0 belongs to both cats; the cluster may match either.
+	truth := mustTruth(t, [][]int{{0, 1}, {0}, {1}})
+	rep, err := Evaluate([]int{0, 0, 1}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0 = {0,1}: vs cat0 P=1, R=1, F=1. Cluster 1 = {2}: vs
+	// cat1 P=1, R=1/2, F=2/3.
+	want := (2*1.0 + 2.0/3.0) / 3
+	if math.Abs(rep.AvgF-want) > 1e-12 {
+		t.Fatalf("AvgF = %v, want %v", rep.AvgF, want)
+	}
+}
+
+func TestEvaluateNoOverlapCluster(t *testing.T) {
+	truth := mustTruth(t, [][]int{nil, nil})
+	rep, err := Evaluate([]int{0, 1}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgF != 0 {
+		t.Fatalf("AvgF = %v, want 0", rep.AvgF)
+	}
+	if rep.Clusters[0].BestCategory != -1 {
+		t.Fatalf("expected no best category: %+v", rep.Clusters[0])
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	truth := mustTruth(t, [][]int{{0}})
+	if _, err := Evaluate([]int{0, 1}, truth); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := Evaluate([]int{-1}, truth); err == nil {
+		t.Fatal("accepted negative cluster id")
+	}
+}
+
+func TestCorrectNodes(t *testing.T) {
+	truth := mustTruth(t, [][]int{{0}, {0}, {1}, nil})
+	correct, err := CorrectNodes([]int{0, 0, 0, 1}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0 best-matches cat 0: nodes 0,1 correct, node 2 (cat 1)
+	// not. Node 3 unlabelled → never correct.
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if correct[i] != want[i] {
+			t.Fatalf("correct[%d] = %v, want %v", i, correct[i], want[i])
+		}
+	}
+}
+
+func TestSignTestBasic(t *testing.T) {
+	// A correct on 10 nodes B misses; B correct on 0 A misses.
+	a := make([]bool, 20)
+	b := make([]bool, 20)
+	for i := 0; i < 10; i++ {
+		a[i] = true
+	}
+	res, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NAOnly != 10 || res.NBOnly != 0 {
+		t.Fatalf("counts %d,%d", res.NAOnly, res.NBOnly)
+	}
+	// P(X >= 10 | n=10, p=.5) = 2^-10 → log10 ≈ -3.0103.
+	want := -10 * math.Log10(2)
+	if math.Abs(res.Log10P-want) > 1e-9 {
+		t.Fatalf("log10 p = %v, want %v", res.Log10P, want)
+	}
+}
+
+func TestSignTestSymmetricNull(t *testing.T) {
+	// Equal discordant counts: p should be large (near 1 → log10 near
+	// 0). For n=10, k=5: P(X>=5) ≈ 0.623 → log10 ≈ -0.2056.
+	a := make([]bool, 10)
+	b := make([]bool, 10)
+	for i := 0; i < 5; i++ {
+		a[i] = true
+	}
+	for i := 5; i < 10; i++ {
+		b[i] = true
+	}
+	res, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log10P < -0.3 || res.Log10P > 0 {
+		t.Fatalf("log10 p = %v, want ≈ -0.206", res.Log10P)
+	}
+}
+
+func TestSignTestNoDiscordance(t *testing.T) {
+	a := []bool{true, false}
+	res, err := SignTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log10P != 0 {
+		t.Fatalf("log10 p = %v, want 0 (p=1)", res.Log10P)
+	}
+}
+
+func TestSignTestExtremeCounts(t *testing.T) {
+	// Very large one-sided counts must stay finite in log space.
+	n := 100000
+	a := make([]bool, n)
+	b := make([]bool, n)
+	for i := 0; i < 80000; i++ {
+		a[i] = true
+	}
+	for i := 80000; i < 90000; i++ {
+		b[i] = true
+	}
+	res, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Log10P, 0) || math.IsNaN(res.Log10P) {
+		t.Fatalf("log10 p = %v", res.Log10P)
+	}
+	if res.Log10P > -1000 {
+		t.Fatalf("log10 p = %v, expected extremely small", res.Log10P)
+	}
+}
+
+func TestSignTestLengthMismatch(t *testing.T) {
+	if _, err := SignTest([]bool{true}, []bool{}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestLogBinomTailAgainstDirectSum(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 7}, {20, 10}, {30, 25}, {5, 0}} {
+		got := logBinomTail(tc.n, tc.k)
+		var direct float64
+		for i := tc.k; i <= tc.n; i++ {
+			direct += math.Exp(lchoose(tc.n, i)) / math.Pow(2, float64(tc.n))
+		}
+		want := math.Log10(direct)
+		if tc.k <= 0 {
+			want = 0
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d k=%d: got %v want %v", tc.n, tc.k, got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+
+	"symcluster/internal/matrix"
+)
+
+// Modularity returns the Newman–Girvan modularity of a clustering over
+// a symmetric weighted adjacency:
+//
+//	Q = Σ_c [ w_in(c)/W − (deg(c)/2W)² ]
+//
+// where w_in(c) is the weight inside cluster c counting each
+// undirected edge once (self-loops fully), W the total edge weight and
+// deg(c) the weighted degree mass of c. Q ∈ [−1/2, 1); higher is more
+// modular.
+func Modularity(adj *matrix.CSR, assign []int) (float64, error) {
+	if adj.Rows != adj.Cols {
+		return 0, fmt.Errorf("eval: adjacency %dx%d not square", adj.Rows, adj.Cols)
+	}
+	if len(assign) != adj.Rows {
+		return 0, fmt.Errorf("eval: %d assignments for %d nodes", len(assign), adj.Rows)
+	}
+	k := 0
+	for i, c := range assign {
+		if c < 0 {
+			return 0, fmt.Errorf("eval: node %d has negative cluster", i)
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	within := make([]float64, k)  // Σ A(i,j) for i,j in c (both directions)
+	degMass := make([]float64, k) // Σ degrees
+	var total float64
+	for i := 0; i < adj.Rows; i++ {
+		ci := assign[i]
+		cols, vals := adj.Row(i)
+		for t, c := range cols {
+			total += vals[t]
+			degMass[ci] += vals[t]
+			if assign[c] == ci {
+				within[ci] += vals[t]
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("eval: modularity of an edgeless graph is undefined")
+	}
+	var q float64
+	for c := 0; c < k; c++ {
+		q += within[c]/total - (degMass[c]/total)*(degMass[c]/total)
+	}
+	return q, nil
+}
+
+// ModularityDirected returns the directed modularity of Leicht &
+// Newman over a directed adjacency:
+//
+//	Q = Σ_c [ w_in(c)/W − (out(c)/W)·(in(c)/W) ]
+//
+// where w_in(c) is the weight of edges starting AND ending in c, W the
+// total edge weight, and out(c)/in(c) the cluster's out-/in-weight.
+func ModularityDirected(a *matrix.CSR, assign []int) (float64, error) {
+	if a.Rows != a.Cols {
+		return 0, fmt.Errorf("eval: adjacency %dx%d not square", a.Rows, a.Cols)
+	}
+	if len(assign) != a.Rows {
+		return 0, fmt.Errorf("eval: %d assignments for %d nodes", len(assign), a.Rows)
+	}
+	k := 0
+	for i, c := range assign {
+		if c < 0 {
+			return 0, fmt.Errorf("eval: node %d has negative cluster", i)
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	within := make([]float64, k)
+	outMass := make([]float64, k)
+	inMass := make([]float64, k)
+	var total float64
+	for i := 0; i < a.Rows; i++ {
+		ci := assign[i]
+		cols, vals := a.Row(i)
+		for t, c := range cols {
+			total += vals[t]
+			outMass[ci] += vals[t]
+			inMass[assign[c]] += vals[t]
+			if assign[c] == ci {
+				within[ci] += vals[t]
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("eval: modularity of an edgeless graph is undefined")
+	}
+	var q float64
+	for c := 0; c < k; c++ {
+		q += within[c]/total - (outMass[c]/total)*(inMass[c]/total)
+	}
+	return q, nil
+}

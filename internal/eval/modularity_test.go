@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func twoCliquesBridge() *matrix.CSR {
+	b := matrix.NewBuilder(6, 6)
+	add := func(u, v int) { b.Add(u, v, 1); b.Add(v, u, 1) }
+	add(0, 1)
+	add(1, 2)
+	add(0, 2)
+	add(3, 4)
+	add(4, 5)
+	add(3, 5)
+	add(2, 3)
+	return b.Build()
+}
+
+func TestModularityNaturalSplitPositive(t *testing.T) {
+	adj := twoCliquesBridge()
+	good, err := Modularity(adj, []int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: total (directed-count) weight W = 14; within
+	// each cluster = 6; degree mass = 7 per cluster.
+	// Q = 2·[6/14 − (7/14)²] = 2·[0.42857 − 0.25] = 0.35714.
+	want := 2 * (6.0/14.0 - 0.25)
+	if math.Abs(good-want) > 1e-12 {
+		t.Fatalf("Q = %v, want %v", good, want)
+	}
+	// The all-in-one clustering has Q = 0.
+	one, err := Modularity(adj, []int{0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one) > 1e-12 {
+		t.Fatalf("trivial Q = %v, want 0", one)
+	}
+	if good <= one {
+		t.Fatal("natural split not more modular than trivial")
+	}
+}
+
+func TestModularityRandomSplitNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	b := matrix.NewBuilder(n, n)
+	for e := 0; e < 3*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.Add(u, v, 1)
+			b.Add(v, u, 1)
+		}
+	}
+	adj := b.Build()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = rng.Intn(4)
+	}
+	q, err := Modularity(adj, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q) > 0.05 {
+		t.Fatalf("random split on random graph Q = %v, want ≈ 0", q)
+	}
+}
+
+func TestModularityErrors(t *testing.T) {
+	if _, err := Modularity(matrix.Zero(2, 3), []int{0, 0}); err == nil {
+		t.Fatal("accepted non-square")
+	}
+	if _, err := Modularity(matrix.Zero(2, 2), []int{0}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := Modularity(matrix.Zero(2, 2), []int{0, 0}); err == nil {
+		t.Fatal("accepted edgeless graph")
+	}
+	if _, err := Modularity(twoCliquesBridge(), []int{-1, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("accepted negative cluster")
+	}
+}
+
+func TestModularityDirectedMatchesUndirectedOnSymmetric(t *testing.T) {
+	adj := twoCliquesBridge()
+	assign := []int{0, 0, 0, 1, 1, 1}
+	qu, err := Modularity(adj, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, err := ModularityDirected(adj, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qu-qd) > 1e-12 {
+		t.Fatalf("directed %v vs undirected %v on symmetric graph", qd, qu)
+	}
+}
+
+func TestModularityDirectedFlowCluster(t *testing.T) {
+	// Two directed 3-cycles joined by one edge: splitting them is
+	// strongly modular.
+	b := matrix.NewBuilder(6, 6)
+	b.Add(0, 1, 1)
+	b.Add(1, 2, 1)
+	b.Add(2, 0, 1)
+	b.Add(3, 4, 1)
+	b.Add(4, 5, 1)
+	b.Add(5, 3, 1)
+	b.Add(2, 3, 1)
+	a := b.Build()
+	q, err := ModularityDirected(a, []int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.3 {
+		t.Fatalf("directed Q = %v, want high", q)
+	}
+	if _, err := ModularityDirected(matrix.Zero(2, 3), []int{0, 0}); err == nil {
+		t.Fatal("accepted non-square")
+	}
+}

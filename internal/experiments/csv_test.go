@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"symcluster/internal/core"
+	"symcluster/internal/graph"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []FSeries{
+		{Label: "DegreeDiscounted", Points: []FPoint{{Clusters: 70, AvgF: 36.62, Seconds: 1.5}}},
+		{Label: "A+A'", Points: []FPoint{{Clusters: 68, AvgF: 31.2, Seconds: 0.9}, {Clusters: 90, AvgF: 30, Seconds: 1}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if lines[0] != "series,clusters,avg_f,seconds" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "DegreeDiscounted,70,36.62") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteTableCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, []SymmetrizationSize{
+		{Dataset: "wiki", Method: core.Bibliometric, Edges: 100, Threshold: 2, Singletons: 5, Seconds: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wiki,Bibliometric,100,2,5") {
+		t.Fatalf("table2 csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteTable3CSV(&buf, []ThresholdRow{{Threshold: 0.01, Edges: 9, MCLF: 22.5, MCLSeconds: 1, MetisF: 20, MetisSecs: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.01,9,22.500") {
+		t.Fatalf("table3 csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteTable4CSV(&buf, []AlphaBetaRow{{Alpha: "0.5", Beta: "0.5", CoraF: 31.66, WikiF: 20.15}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5,0.5,31.660,20.150") {
+		t.Fatalf("table4 csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	rows := []ControlledRow{{SharedFraction: 0.5, F: map[core.Method]float64{core.DegreeDiscounted: 95}}}
+	if err := WriteControlledCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shared_fraction") || !strings.Contains(buf.String(), "0.5,95.000") {
+		t.Fatalf("controlled csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteFigure4CSV(&buf, []DegreeDistribution{
+		{Method: core.AAT, Hist: graph.DegreeHistogram{Zero: 2, Buckets: []int{3, 1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A+A',0,0,2") || !strings.Contains(out, "A+A',1,2,3") || !strings.Contains(out, "A+A',2,4,1") {
+		t.Fatalf("figure4 csv: %q", out)
+	}
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"symcluster/internal/core"
+)
+
+// sharedDatasets caches the small-scale datasets across tests in this
+// package; generation is deterministic, so sharing is safe.
+var sharedDatasets *Datasets
+
+func datasets(t *testing.T) *Datasets {
+	t.Helper()
+	if sharedDatasets == nil {
+		d, err := Load(Small, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDatasets = d
+	}
+	return sharedDatasets
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(datasets(t))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]DatasetStats{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Vertices <= 0 || r.Edges <= 0 {
+			t.Fatalf("degenerate dataset row: %+v", r)
+		}
+	}
+	// Qualitative Table-1 shape: citations nearly asymmetric,
+	// LiveJournal substitute the most reciprocal.
+	if byName["cora"].SymmetricPct > 20 {
+		t.Fatalf("cora symmetric%% = %v, want low", byName["cora"].SymmetricPct)
+	}
+	if byName["livejournal"].SymmetricPct < 30 {
+		t.Fatalf("livejournal symmetric%% = %v, want high", byName["livejournal"].SymmetricPct)
+	}
+	if byName["cora"].Categories == 0 || byName["wiki"].Categories == 0 {
+		t.Fatal("quality datasets must have ground truth")
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Table 1") {
+		t.Fatal("formatter lost the header")
+	}
+}
+
+func TestTable2BibliometricBlowupAndSingletons(t *testing.T) {
+	rows, err := Table2(datasets(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by (dataset, method).
+	get := func(ds string, m core.Method) SymmetrizationSize {
+		for _, r := range rows {
+			if r.Dataset == ds && r.Method == m {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%v", ds, m)
+		return SymmetrizationSize{}
+	}
+	// Claim 3 (DESIGN.md): on the hub-heavy wiki graph, pruned
+	// Bibliometric strands far more singletons than Degree-discounted.
+	bib := get("wiki", core.Bibliometric)
+	dd := get("wiki", core.DegreeDiscounted)
+	if bib.Singletons <= dd.Singletons {
+		t.Fatalf("bibliometric singletons %d not above degree-discounted %d",
+			bib.Singletons, dd.Singletons)
+	}
+	// A+Aᵀ and RandomWalk share an edge set.
+	if get("cora", core.AAT).Edges != get("cora", core.RandomWalk).Edges {
+		t.Fatal("A+Aᵀ and RandomWalk edge counts differ")
+	}
+	_ = FormatTable2(rows)
+}
+
+func TestFigure4DegreeDistributions(t *testing.T) {
+	rows, err := Figure4(datasets(t).Wiki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[core.Method]DegreeDistribution{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	// Claim 4: the degree-discounted graph eliminates hubs — its max
+	// degree is far below Bibliometric's and A+Aᵀ's.
+	if byMethod[core.DegreeDiscounted].MaxDeg*2 > byMethod[core.Bibliometric].MaxDeg {
+		t.Fatalf("degree-discounted max degree %d not well below bibliometric %d",
+			byMethod[core.DegreeDiscounted].MaxDeg, byMethod[core.Bibliometric].MaxDeg)
+	}
+	_ = FormatFigure4(rows)
+}
+
+func TestFigure5DegreeDiscountedWins(t *testing.T) {
+	series, err := Figure5(datasets(t).Cora, AlgoMLRMCL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bestBySeries(series)
+	// Claim 1: Degree-discounted and Bibliometric (the in/out-link
+	// similarity methods) beat A+Aᵀ and RandomWalk on citation data.
+	if best["DegreeDiscounted"] <= best["A+A'"] {
+		t.Fatalf("DegreeDiscounted %.2f not above A+A' %.2f", best["DegreeDiscounted"], best["A+A'"])
+	}
+	if best["Bibliometric"] <= best["RandomWalk"] {
+		t.Fatalf("Bibliometric %.2f not above RandomWalk %.2f", best["Bibliometric"], best["RandomWalk"])
+	}
+	_ = FormatSeries("Figure 5(a)", series)
+}
+
+func TestFigure6BeatsBestWCut(t *testing.T) {
+	series, err := Figure6(datasets(t).Cora, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bestBySeries(series)
+	// Claim 2: degree-discounted + any substrate beats BestWCut.
+	for _, algo := range []string{"MLR-MCL", "Metis", "Graclus"} {
+		if best[algo] <= best["BestWCut"] {
+			t.Fatalf("%s %.2f not above BestWCut %.2f", algo, best[algo], best["BestWCut"])
+		}
+	}
+	_ = FormatSeries("Figure 6(a)", series)
+	_ = FormatTimes("Figure 6(b)", series)
+}
+
+func TestFigure7DegreeDiscountedWinsOnWiki(t *testing.T) {
+	series, err := Figure7(datasets(t).Wiki, AlgoMLRMCL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bestBySeries(series)
+	if best["DegreeDiscounted"] <= best["A+A'"] {
+		t.Fatalf("DegreeDiscounted %.2f not above A+A' %.2f on wiki", best["DegreeDiscounted"], best["A+A'"])
+	}
+	// Claim 3's quality side: Bibliometric collapses on the hub-heavy
+	// graph.
+	if best["Bibliometric"] >= best["DegreeDiscounted"] {
+		t.Fatalf("Bibliometric %.2f not below DegreeDiscounted %.2f on wiki",
+			best["Bibliometric"], best["DegreeDiscounted"])
+	}
+}
+
+func TestFigure9ScalabilityRuns(t *testing.T) {
+	series, err := Figure9(datasets(t).Flickr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Seconds < 0 {
+				t.Fatalf("negative time in %s", s.Label)
+			}
+		}
+	}
+	_ = FormatTimes("Figure 9(a)", series)
+}
+
+func TestTable3ThresholdTradeoff(t *testing.T) {
+	rows, err := Table3(datasets(t).Wiki, []float64{0.02, 0.035, 0.05, 0.08}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Claim 5: edges decrease monotonically as the threshold rises.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Edges > rows[i-1].Edges {
+			t.Fatalf("edges not monotone: %+v", rows)
+		}
+	}
+	_ = FormatTable3(rows)
+}
+
+func TestTable5TopEdges(t *testing.T) {
+	rows, err := Table5(datasets(t).Wiki, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	// Claim 7: Bibliometric's (and RandomWalk's) top edges touch
+	// high-degree pages — explicit hubs, or the concept/index pages
+	// that function as hubs — while Degree-discounted's top edges join
+	// specific low-degree pages (the near-duplicates and list members).
+	// Hub-ness is judged by total degree relative to the median.
+	wiki := datasets(t).Wiki
+	in := wiki.Graph.InDegrees()
+	out := wiki.Graph.OutDegrees()
+	totalDeg := make([]int, wiki.Graph.N())
+	for i := range totalDeg {
+		totalDeg[i] = in[i] + out[i]
+	}
+	med := medianInt(totalDeg)
+	labelDeg := map[string]int{}
+	for i, l := range wiki.Graph.Labels {
+		labelDeg[l] = totalDeg[i]
+	}
+	maxEndpointDeg := func(m core.Method) int {
+		mx := 0
+		for _, r := range rows {
+			if r.Method != m {
+				continue
+			}
+			for _, node := range []string{r.Node1, r.Node2} {
+				if d := labelDeg[node]; d > mx {
+					mx = d
+				}
+			}
+		}
+		return mx
+	}
+	bibMax := maxEndpointDeg(core.Bibliometric)
+	ddMax := maxEndpointDeg(core.DegreeDiscounted)
+	if bibMax < 10*med {
+		t.Fatalf("bibliometric top edges touch no hub: max endpoint degree %d vs median %d", bibMax, med)
+	}
+	if ddMax >= bibMax/4 {
+		t.Fatalf("degree-discounted top edges too hubby: max endpoint degree %d vs bibliometric %d", ddMax, bibMax)
+	}
+	_ = FormatTable5(rows)
+}
+
+func TestSignTests(t *testing.T) {
+	rows, err := SignTests(datasets(t).Cora, datasets(t).Wiki, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Log10PValue > 0 {
+			t.Fatalf("positive log10 p: %+v", r)
+		}
+	}
+	_ = FormatSignTests(rows)
+}
+
+func TestCaseStudyTwinsAndLists(t *testing.T) {
+	rows, err := CaseStudy(datasets(t).Wiki, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[core.Method]CaseStudyResult{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	// Claim 8: A+Aᵀ and RandomWalk cannot even connect the twins;
+	// Bibliometric and DegreeDiscounted connect and co-cluster them.
+	for _, m := range []core.Method{core.AAT, core.RandomWalk} {
+		if byMethod[m].TwinsConnected {
+			t.Fatalf("%v connected the Figure-1 twins", m)
+		}
+	}
+	for _, m := range []core.Method{core.Bibliometric, core.DegreeDiscounted} {
+		if !byMethod[m].TwinsConnected || !byMethod[m].TwinsClustered {
+			t.Fatalf("%v failed on the Figure-1 twins: %+v", m, byMethod[m])
+		}
+	}
+	// List-pattern recall: degree-discounted must beat A+Aᵀ clearly.
+	if byMethod[core.DegreeDiscounted].ListRecallPct <= byMethod[core.AAT].ListRecallPct {
+		t.Fatalf("list recall: dd %.1f not above a+at %.1f",
+			byMethod[core.DegreeDiscounted].ListRecallPct, byMethod[core.AAT].ListRecallPct)
+	}
+	_ = FormatCaseStudy(rows)
+}
+
+func TestSpamProbe(t *testing.T) {
+	rows, err := SpamProbe(datasets(t).Wiki, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bib, dd int
+	for _, r := range rows {
+		switch r.Method {
+		case core.Bibliometric:
+			bib = r.SpamAmongTop
+		case core.DegreeDiscounted:
+			dd = r.SpamAmongTop
+		}
+	}
+	// Degree-discounting must bound the farm's pollution relative to
+	// raw bibliometric weighting.
+	if dd > bib {
+		t.Fatalf("degree-discounted spam pollution %d above bibliometric %d", dd, bib)
+	}
+	_ = FormatSpamProbe(rows)
+}
+
+func TestClusterSweep(t *testing.T) {
+	sweep := ClusterSweep(70, 7)
+	if len(sweep) != 7 {
+		t.Fatalf("len = %d", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("sweep not increasing: %v", sweep)
+		}
+	}
+	if sweep[0] < 2 || sweep[len(sweep)-1] > 140 {
+		t.Fatalf("sweep range wrong: %v", sweep)
+	}
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[(len(s)-1)/2]
+}
+
+// bestBySeries returns the best Avg-F per series label.
+func bestBySeries(series []FSeries) map[string]float64 {
+	best := map[string]float64{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.AvgF > best[s.Label] {
+				best[s.Label] = p.AvgF
+			}
+		}
+	}
+	return best
+}

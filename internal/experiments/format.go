@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable1 renders Table 1 as aligned text.
+func FormatTable1(rows []DatasetStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: dataset details\n")
+	fmt.Fprintf(&b, "%-14s %10s %12s %10s %10s\n", "Dataset", "Vertices", "Edges", "Sym links", "Categories")
+	for _, r := range rows {
+		cat := "N.A."
+		if r.Categories > 0 {
+			cat = fmt.Sprintf("%d", r.Categories)
+		}
+		fmt.Fprintf(&b, "%-14s %10d %12d %9.1f%% %10s\n", r.Name, r.Vertices, r.Edges, r.SymmetricPct, cat)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []SymmetrizationSize) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: symmetrized edge counts and prune thresholds\n")
+	fmt.Fprintf(&b, "%-14s %-18s %12s %10s %10s %8s\n", "Dataset", "Method", "Edges", "Threshold", "Singletons", "Secs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-18s %12d %10g %10d %8.2f\n",
+			r.Dataset, r.Method, r.Edges, r.Threshold, r.Singletons, r.Seconds)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []ThresholdRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: effect of varying the prune threshold (Wiki, Degree-discounted)\n")
+	fmt.Fprintf(&b, "%10s %12s | %8s %9s | %8s %9s\n", "Threshold", "Edges", "MCL F", "MCL s", "Metis F", "Metis s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.3f %12d | %8.2f %9.2f | %8.2f %9.2f\n",
+			r.Threshold, r.Edges, r.MCLF, r.MCLSeconds, r.MetisF, r.MetisSecs)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []AlphaBetaRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: effect of varying α, β (Metis)\n")
+	fmt.Fprintf(&b, "%6s %6s %14s %14s\n", "α", "β", "F-score Cora", "F-score Wiki")
+	bestCora, bestWiki := -1.0, -1.0
+	for _, r := range rows {
+		if r.CoraF > bestCora {
+			bestCora = r.CoraF
+		}
+		if r.WikiF > bestWiki {
+			bestWiki = r.WikiF
+		}
+	}
+	for _, r := range rows {
+		mark := func(v, best float64) string {
+			if v == best {
+				return "*"
+			}
+			return " "
+		}
+		fmt.Fprintf(&b, "%6s %6s %13.2f%s %13.2f%s\n",
+			r.Alpha, r.Beta, r.CoraF, mark(r.CoraF, bestCora), r.WikiF, mark(r.WikiF, bestWiki))
+	}
+	return b.String()
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []TopEdgeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: top-weighted edges per symmetrization (Wiki)\n")
+	fmt.Fprintf(&b, "%-18s %-28s %-28s %12s\n", "Method", "Node 1", "Node 2", "Weight")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-28s %-28s %12.1f\n", r.Method, clip(r.Node1, 28), clip(r.Node2, 28), r.Weight)
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders the Figure 4 degree distributions as aligned
+// log-binned histograms.
+func FormatFigure4(rows []DegreeDistribution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: node degree distributions of Wiki symmetrizations\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s max=%d mean=%.1f zero=%d\n", r.Method, r.MaxDeg, r.MeanDeg, r.Hist.Zero)
+		for bkt, count := range r.Hist.Buckets {
+			if count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  [%6d, %6d) %8d %s\n", 1<<bkt, 1<<(bkt+1), count, bar(count, 50))
+		}
+	}
+	return b.String()
+}
+
+// FormatSeries renders an effectiveness sweep (Figures 5, 6a, 7).
+func FormatSeries(title string, series []FSeries) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s\n", "Series", "Clusters", "Avg F", "Secs")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%-18s %10d %10.2f %10.2f\n", s.Label, p.Clusters, p.AvgF, p.Seconds)
+		}
+	}
+	return b.String()
+}
+
+// FormatTimes renders a timing sweep (Figures 6b, 8, 9).
+func FormatTimes(title string, series []FSeries) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-18s %10s %12s\n", "Series", "Clusters", "Seconds")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%-18s %10d %12.3f\n", s.Label, p.Clusters, p.Seconds)
+		}
+	}
+	return b.String()
+}
+
+// FormatSignTests renders the §5.6 sign test rows.
+func FormatSignTests(rows []SignTestRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sign tests (§5.6): paired binomial, one-sided\n")
+	fmt.Fprintf(&b, "%-12s %-40s %8s %8s %14s\n", "Dataset", "Comparison", "A-only", "B-only", "log10(p)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-40s %8d %8d %14.1f\n", r.Dataset, r.Comparison, r.NAOnly, r.NBOnly, r.Log10PValue)
+	}
+	return b.String()
+}
+
+// FormatCaseStudy renders the §5.7 / Figure 1 case study.
+func FormatCaseStudy(rows []CaseStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case study (§5.7, Figure 1): recovering shared-link clusters\n")
+	fmt.Fprintf(&b, "%-18s %-16s %-16s %14s\n", "Method", "Twins linked", "Twins clustered", "List recall %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-16v %-16v %14.1f\n", r.Method, r.TwinsConnected, r.TwinsClustered, r.ListRecallPct)
+	}
+	return b.String()
+}
+
+// FormatSpamProbe renders the §6 future-work spam probe.
+func FormatSpamProbe(rows []SpamProbeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Spam probe (§6 future work): link-farm edges among top-20 weighted edges\n")
+	fmt.Fprintf(&b, "%-18s %14s\n", "Method", "Spam in top20")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %14d\n", r.Method, r.SpamAmongTop)
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func bar(count, maxWidth int) string {
+	w := count
+	for w > maxWidth {
+		w = maxWidth
+	}
+	return strings.Repeat("#", w)
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"symcluster/internal/graph"
+	"symcluster/internal/matrix"
+)
+
+// newBuilderFrom copies all edges of g into a builder sized for total
+// nodes (total >= g.N()), so callers can append extra structure.
+func newBuilderFrom(g *graph.Directed, total int) *matrix.Builder {
+	b := matrix.NewBuilder(total, total)
+	b.Reserve(g.M() + 64)
+	for i := 0; i < g.N(); i++ {
+		cols, vals := g.Adj.Row(i)
+		for k, c := range cols {
+			b.Add(i, int(c), vals[k])
+		}
+	}
+	return b
+}
+
+// newDirected builds a directed graph from a builder and labels.
+func newDirected(b *matrix.Builder, labels []string) (*graph.Directed, error) {
+	return graph.NewDirected(b.Build(), labels)
+}

@@ -1,0 +1,198 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"symcluster/internal/eval"
+	"symcluster/internal/graph"
+	"symcluster/internal/matrix"
+)
+
+// ControlledOptions configures the synthetically controlled generator
+// of the paper's §6 future work ("in addition to evaluation on real
+// data we would like to validate results on synthetically controlled
+// datasets"). It plants a tunable mixture of two cluster archetypes:
+//
+//   - flow clusters: densely interlinked directed clusters — the kind
+//     every symmetrization can see;
+//   - shared-link clusters: the Figure-1 archetype — members never
+//     link to each other, but share out-links to a private target set
+//     and in-links from a private source set; only in/out-link
+//     similarity can see these.
+//
+// Sweeping SharedFraction from 0 to 1 dials the dataset from "A+Aᵀ
+// territory" to "degree-discounted territory", which is exactly the
+// controlled validation the paper calls for.
+type ControlledOptions struct {
+	// Clusters is the number of planted clusters. Defaults to 40.
+	Clusters int
+	// MembersPerCluster is the size of each cluster. Defaults to 25.
+	MembersPerCluster int
+	// SharedFraction is the fraction of clusters built as shared-link
+	// (Figure-1) clusters; the rest are flow clusters. Defaults to 0.5.
+	// Zero is allowed and means all-flow.
+	SharedFraction float64
+	// IntraProb is the link probability inside flow clusters.
+	// Defaults to 0.3.
+	IntraProb float64
+	// AnchorsPerCluster is how many target and source anchors each
+	// shared-link cluster draws from the global pools. Defaults to 4.
+	AnchorsPerCluster int
+	// AnchorPool is the size of each global anchor pool (targets and
+	// sources). Anchors are shared across clusters — like "Ecuador"
+	// serving many plant genera in the paper's §5.7 — so clusters are
+	// NOT separable as connected components and direction-dropping
+	// symmetrizations blur them together. Defaults to
+	// max(2·AnchorsPerCluster, Clusters/2).
+	AnchorPool int
+	// NoiseEdges is the number of uniformly random directed edges
+	// added on top. Defaults to 2 per node.
+	NoiseEdges int
+	// Seed drives all randomness.
+	Seed int64
+
+	// sharedSet marks SharedFraction as explicitly set (the zero value
+	// must mean "default 0.5", but an explicit 0 is meaningful).
+	sharedSet bool
+}
+
+// WithSharedFraction returns a copy of o with SharedFraction set
+// explicitly (distinguishing an explicit 0 from the default 0.5).
+func (o ControlledOptions) WithSharedFraction(f float64) ControlledOptions {
+	o.SharedFraction = f
+	o.sharedSet = true
+	return o
+}
+
+func (o *ControlledOptions) fill() {
+	if o.Clusters <= 0 {
+		o.Clusters = 40
+	}
+	if o.MembersPerCluster <= 0 {
+		o.MembersPerCluster = 25
+	}
+	if !o.sharedSet && o.SharedFraction == 0 {
+		o.SharedFraction = 0.5
+	}
+	if o.IntraProb <= 0 {
+		o.IntraProb = 0.3
+	}
+	if o.AnchorsPerCluster <= 0 {
+		o.AnchorsPerCluster = 4
+	}
+	if o.AnchorPool <= 0 {
+		o.AnchorPool = 2 * o.AnchorsPerCluster
+		if o.Clusters/2 > o.AnchorPool {
+			o.AnchorPool = o.Clusters / 2
+		}
+	}
+	if o.AnchorPool < o.AnchorsPerCluster {
+		o.AnchorPool = o.AnchorsPerCluster
+	}
+	if o.NoiseEdges < 0 {
+		o.NoiseEdges = 0
+	} else if o.NoiseEdges == 0 {
+		o.NoiseEdges = 2 * o.Clusters * o.MembersPerCluster
+	}
+}
+
+// Controlled generates the controlled-mixture dataset. Every member
+// node carries its cluster as ground truth; anchor nodes (the private
+// source/target sets of shared-link clusters) are unlabelled.
+func Controlled(opt ControlledOptions) (*Dataset, error) {
+	opt.fill()
+	if opt.SharedFraction < 0 || opt.SharedFraction > 1 {
+		return nil, fmt.Errorf("gen: controlled SharedFraction %v outside [0,1]", opt.SharedFraction)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	sharedClusters := int(opt.SharedFraction * float64(opt.Clusters))
+	members := opt.Clusters * opt.MembersPerCluster
+	poolNodes := 0
+	if sharedClusters > 0 {
+		poolNodes = 2 * opt.AnchorPool
+	}
+	total := members + poolNodes
+
+	labels := make([]string, 0, total)
+	cats := make([][]int, 0, total)
+	b := matrix.NewBuilder(total, total)
+
+	node := 0
+	newNode := func(label string, cat int) int {
+		labels = append(labels, label)
+		if cat >= 0 {
+			cats = append(cats, []int{cat})
+		} else {
+			cats = append(cats, nil)
+		}
+		node++
+		return node - 1
+	}
+
+	// Global anchor pools, shared across shared-link clusters.
+	var targetPool, sourcePool []int
+	if sharedClusters > 0 {
+		for i := 0; i < opt.AnchorPool; i++ {
+			targetPool = append(targetPool, newNode(fmt.Sprintf("Anchor:Target:%d", i), -1))
+			sourcePool = append(sourcePool, newNode(fmt.Sprintf("Anchor:Source:%d", i), -1))
+		}
+	}
+
+	for c := 0; c < opt.Clusters; c++ {
+		ms := make([]int, opt.MembersPerCluster)
+		if c < sharedClusters {
+			// Shared-link cluster: members → cluster's target anchors,
+			// cluster's source anchors → members, no intra-member edges.
+			// Anchors are drawn from the global pools and reused by
+			// other clusters.
+			for i := range ms {
+				ms[i] = newNode(fmt.Sprintf("Shared:%d:Member:%d", c, i), c)
+			}
+			targets := samplePool(rng, targetPool, opt.AnchorsPerCluster)
+			sources := samplePool(rng, sourcePool, opt.AnchorsPerCluster)
+			for _, m := range ms {
+				for _, t := range targets {
+					b.Add(m, t, 1)
+				}
+				for _, s := range sources {
+					b.Add(s, m, 1)
+				}
+			}
+		} else {
+			// Flow cluster: random directed links among members.
+			for i := range ms {
+				ms[i] = newNode(fmt.Sprintf("Flow:%d:Member:%d", c, i), c)
+			}
+			for _, u := range ms {
+				for _, v := range ms {
+					if u != v && rng.Float64() < opt.IntraProb {
+						b.Add(u, v, 1)
+					}
+				}
+			}
+		}
+	}
+
+	for e := 0; e < opt.NoiseEdges; e++ {
+		u, v := rng.Intn(total), rng.Intn(total)
+		if u != v {
+			b.Add(u, v, 1)
+		}
+	}
+
+	adj := b.Build()
+	for i := range adj.Val {
+		adj.Val[i] = 1 // collapse duplicate noise edges
+	}
+	g, err := graph.NewDirected(adj, labels)
+	if err != nil {
+		return nil, fmt.Errorf("gen: controlled: %w", err)
+	}
+	truth, err := eval.NewGroundTruth(cats)
+	if err != nil {
+		return nil, fmt.Errorf("gen: controlled truth: %w", err)
+	}
+	return &Dataset{Name: fmt.Sprintf("controlled-%.0f%%shared", 100*opt.SharedFraction), Graph: g, Truth: truth}, nil
+}

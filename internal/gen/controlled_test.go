@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestControlledAllFlow(t *testing.T) {
+	d, err := Controlled(ControlledOptions{Clusters: 6, MembersPerCluster: 10, Seed: 1}.WithSharedFraction(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.N() != 60 {
+		t.Fatalf("N = %d, want 60 (no anchors)", d.Graph.N())
+	}
+	for _, l := range d.Graph.Labels {
+		if strings.HasPrefix(l, "Shared:") {
+			t.Fatal("shared cluster present at fraction 0")
+		}
+	}
+	if d.Truth.K != 6 {
+		t.Fatalf("truth K = %d", d.Truth.K)
+	}
+}
+
+func TestControlledAllShared(t *testing.T) {
+	d, err := Controlled(ControlledOptions{Clusters: 5, MembersPerCluster: 8, AnchorsPerCluster: 3, NoiseEdges: -1, Seed: 2}.WithSharedFraction(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5*8 members + 2 pools of max(2*3, 5/2) = 6 anchors = 52.
+	if d.Graph.N() != 52 {
+		t.Fatalf("N = %d, want 52", d.Graph.N())
+	}
+	// Members of a shared cluster never link to one another.
+	var members []int
+	for i, l := range d.Graph.Labels {
+		if strings.HasPrefix(l, "Shared:0:Member:") {
+			members = append(members, i)
+		}
+	}
+	if len(members) != 8 {
+		t.Fatalf("found %d members", len(members))
+	}
+	for _, u := range members {
+		for _, v := range members {
+			if u != v && d.Graph.Adj.At(u, v) != 0 {
+				t.Fatal("shared-cluster members directly linked (noise disabled)")
+			}
+		}
+	}
+	// Anchors are unlabelled and shared: the pool is smaller than the
+	// total anchor demand, so at least two clusters reuse an anchor.
+	for i, l := range d.Graph.Labels {
+		if strings.HasPrefix(l, "Anchor:") {
+			if len(d.Truth.Categories[i]) != 0 {
+				t.Fatalf("anchor %q labelled", l)
+			}
+		}
+	}
+}
+
+func TestControlledDefaultFraction(t *testing.T) {
+	d, err := Controlled(ControlledOptions{Clusters: 10, MembersPerCluster: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, flow := 0, 0
+	for _, l := range d.Graph.Labels {
+		if strings.HasPrefix(l, "Shared:") && strings.Contains(l, ":Member:0") && strings.HasSuffix(l, ":Member:0") {
+			shared++
+		}
+		if strings.HasPrefix(l, "Flow:") && strings.HasSuffix(l, ":Member:0") {
+			flow++
+		}
+	}
+	if shared != 5 || flow != 5 {
+		t.Fatalf("default mixture: %d shared, %d flow; want 5/5", shared, flow)
+	}
+}
+
+func TestControlledRejectsBadFraction(t *testing.T) {
+	if _, err := Controlled(ControlledOptions{}.WithSharedFraction(1.5)); err == nil {
+		t.Fatal("accepted fraction > 1")
+	}
+	if _, err := Controlled(ControlledOptions{}.WithSharedFraction(-0.1)); err == nil {
+		t.Fatal("accepted negative fraction")
+	}
+}
+
+func TestControlledDeterminism(t *testing.T) {
+	a, _ := Controlled(ControlledOptions{Clusters: 8, MembersPerCluster: 6, Seed: 4})
+	b, _ := Controlled(ControlledOptions{Clusters: 8, MembersPerCluster: 6, Seed: 4})
+	if a.Graph.M() != b.Graph.M() {
+		t.Fatal("same seed differs")
+	}
+}

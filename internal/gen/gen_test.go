@@ -1,0 +1,352 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"symcluster/internal/graph"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	d := Figure1()
+	if d.Graph.N() != 6 || d.Graph.M() != 8 {
+		t.Fatalf("N=%d M=%d", d.Graph.N(), d.Graph.M())
+	}
+	// No edge between the twins, in either direction.
+	if d.Graph.Adj.At(4, 5) != 0 || d.Graph.Adj.At(5, 4) != 0 {
+		t.Fatal("twins must not be linked")
+	}
+	// Twins share out-links and in-links.
+	for _, dst := range []int{2, 3} {
+		if d.Graph.Adj.At(4, dst) == 0 || d.Graph.Adj.At(5, dst) == 0 {
+			t.Fatal("twins must share out-links")
+		}
+	}
+	if d.Truth.K != 3 {
+		t.Fatalf("truth K = %d", d.Truth.K)
+	}
+}
+
+func TestCitationBasicShape(t *testing.T) {
+	d, err := Citation(CitationOptions{Nodes: 3000, Topics: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	if g.N() != 3000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Mean out-degree near MeanCites (some cites are dropped as dups).
+	mean := float64(g.M()) / float64(g.N())
+	if mean < 2.5 || mean > 5.5 {
+		t.Fatalf("mean out-degree %v outside [2.5, 5.5]", mean)
+	}
+	// Citation graphs have very low reciprocity.
+	if f := g.SymmetricLinkFraction(); f > 0.2 {
+		t.Fatalf("symmetric link fraction %v too high for citations", f)
+	}
+	if d.Truth.K > 20 {
+		t.Fatalf("truth K = %d, want <= 20", d.Truth.K)
+	}
+	// Roughly 20% unlabelled.
+	lab := d.Truth.Labelled()
+	if lab < 2100 || lab > 2700 {
+		t.Fatalf("labelled %d of 3000, want ≈ 2400", lab)
+	}
+}
+
+func TestCitationMostlyAcyclicInTime(t *testing.T) {
+	// Non-noise citations point backwards in time: count forward edges;
+	// they must be a small minority (only reciprocal noise).
+	d, err := Citation(CitationOptions{Nodes: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward, total := 0, 0
+	adj := d.Graph.Adj
+	for i := 0; i < adj.Rows; i++ {
+		cols, _ := adj.Row(i)
+		for _, c := range cols {
+			total++
+			if int(c) > i {
+				forward++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no edges")
+	}
+	if frac := float64(forward) / float64(total); frac > 0.1 {
+		t.Fatalf("forward-in-time edges %v, want < 0.1", frac)
+	}
+}
+
+func TestCitationTopicLocality(t *testing.T) {
+	// Most citations must stay within topic: check via ground truth on
+	// labelled pairs.
+	d, err := Citation(CitationOptions{Nodes: 3000, Topics: 10, UnlabelledFrac: 0.0001, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, cross := 0, 0
+	adj := d.Graph.Adj
+	cats := d.Truth.Categories
+	for i := 0; i < adj.Rows; i++ {
+		if len(cats[i]) == 0 {
+			continue
+		}
+		cols, _ := adj.Row(i)
+		for _, c := range cols {
+			if len(cats[c]) == 0 {
+				continue
+			}
+			if cats[i][0] == cats[c][0] {
+				same++
+			} else {
+				cross++
+			}
+		}
+	}
+	if same <= 2*cross {
+		t.Fatalf("within-topic %d vs cross-topic %d: locality too weak", same, cross)
+	}
+}
+
+func TestCitationDeterminism(t *testing.T) {
+	a, _ := Citation(CitationOptions{Nodes: 500, Seed: 7})
+	b, _ := Citation(CitationOptions{Nodes: 500, Seed: 7})
+	if a.Graph.M() != b.Graph.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestCitationRejectsBadOptions(t *testing.T) {
+	if _, err := Citation(CitationOptions{WithinTopicProb: 1.5}); err == nil {
+		t.Fatal("accepted probability > 1")
+	}
+}
+
+func TestWikiBasicShape(t *testing.T) {
+	d, err := Wiki(WikiOptions{ListClusters: 20, RecipClusters: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	if g.N() < 500 {
+		t.Fatalf("N = %d too small", g.N())
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges")
+	}
+	// Truth must have list + recip + parent categories.
+	if d.Truth.K < 40 {
+		t.Fatalf("truth K = %d", d.Truth.K)
+	}
+	// A substantial share of nodes is unlabelled (concepts, indexes,
+	// hubs, noise).
+	unlab := g.N() - d.Truth.Labelled()
+	if float64(unlab)/float64(g.N()) < 0.15 {
+		t.Fatalf("unlabelled share too low: %d of %d", unlab, g.N())
+	}
+}
+
+func TestWikiHubsAreHubs(t *testing.T) {
+	d, err := Wiki(WikiOptions{ListClusters: 20, RecipClusters: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := d.Graph.InDegrees()
+	med := graph.MedianDegree(in)
+	// Find the labelled hub nodes and check their in-degrees dwarf the
+	// median.
+	found := 0
+	for i, l := range d.Graph.Labels {
+		if len(l) > 4 && l[:4] == "Hub:" {
+			found++
+			if in[i] < 10*max(med, 1) {
+				t.Fatalf("hub %q in-degree %d not hub-like (median %d)", l, in[i], med)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no hub nodes found")
+	}
+}
+
+func TestWikiListClustersHaveNoIntraLinks(t *testing.T) {
+	d, err := Wiki(WikiOptions{ListClusters: 10, RecipClusters: 5, NoisePages: 1, HubLinkProb: 1e-9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect members of list cluster 0 by label prefix.
+	var members []int
+	for i, l := range d.Graph.Labels {
+		if len(l) >= 14 && l[:14] == "List:0:Member:" {
+			members = append(members, i)
+		}
+	}
+	if len(members) < 2 {
+		t.Fatalf("found %d members", len(members))
+	}
+	for _, a := range members {
+		for _, b := range members {
+			if a != b && d.Graph.Adj.At(a, b) != 0 {
+				t.Fatalf("list members %d,%d directly linked", a, b)
+			}
+		}
+	}
+}
+
+func TestWikiSymmetricFractionModerate(t *testing.T) {
+	d, err := Wiki(WikiOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := d.Graph.SymmetricLinkFraction()
+	if f < 0.1 || f > 0.8 {
+		t.Fatalf("symmetric fraction %v outside Wikipedia-like band", f)
+	}
+}
+
+func TestWikiOverlappingCategories(t *testing.T) {
+	d, err := Wiki(WikiOptions{ListClusters: 20, RecipClusters: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, cats := range d.Truth.Categories {
+		if len(cats) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no node belongs to multiple categories")
+	}
+}
+
+func TestWikiGenusProbExtremes(t *testing.T) {
+	all, err := Wiki(WikiOptions{ListClusters: 10, RecipClusters: 2, GenusProb: 0.9999, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Wiki(WikiOptions{ListClusters: 10, RecipClusters: 2, GenusProb: 1e-9, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countGenus := func(d *Dataset) int {
+		n := 0
+		for _, l := range d.Graph.Labels {
+			if strings.HasSuffix(l, ":Genus") {
+				n++
+			}
+		}
+		return n
+	}
+	if countGenus(all) != 10 {
+		t.Fatalf("GenusProb≈1 produced %d genus pages, want 10", countGenus(all))
+	}
+	if countGenus(none) != 0 {
+		t.Fatalf("GenusProb≈0 produced %d genus pages, want 0", countGenus(none))
+	}
+}
+
+func TestWikiRejectsBadBounds(t *testing.T) {
+	if _, err := Wiki(WikiOptions{ListMembersMin: 10, ListMembersMax: 5}); err == nil {
+		t.Fatal("accepted inverted member bounds")
+	}
+}
+
+func TestKroneckerShape(t *testing.T) {
+	d, err := Kronecker(KroneckerOptions{Scale: 10, EdgeFactor: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	if g.N() != 1024 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() < 1024*4 {
+		t.Fatalf("M = %d too few", g.M())
+	}
+	if d.Truth != nil {
+		t.Fatal("kronecker should have no ground truth")
+	}
+}
+
+func TestKroneckerPowerLawish(t *testing.T) {
+	d, err := Kronecker(KroneckerOptions{Scale: 12, EdgeFactor: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := d.Graph.InDegrees()
+	maxDeg := graph.MaxDegree(in)
+	mean := graph.MeanDegree(in)
+	// Heavy-tailed: max in-degree far above the mean.
+	if float64(maxDeg) < 10*mean {
+		t.Fatalf("max in-degree %d vs mean %v: not heavy-tailed", maxDeg, mean)
+	}
+}
+
+func TestKroneckerReciprocity(t *testing.T) {
+	high, err := Kronecker(KroneckerOptions{Scale: 10, EdgeFactor: 8, Reciprocity: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Kronecker(KroneckerOptions{Scale: 10, EdgeFactor: 8, Reciprocity: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := high.Graph.SymmetricLinkFraction()
+	fl := low.Graph.SymmetricLinkFraction()
+	if fh <= fl {
+		t.Fatalf("reciprocity option ineffective: %v <= %v", fh, fl)
+	}
+	if fh < 0.5 {
+		t.Fatalf("high-reciprocity fraction %v too low", fh)
+	}
+}
+
+func TestKroneckerUnitWeights(t *testing.T) {
+	d, err := Kronecker(KroneckerOptions{Scale: 9, EdgeFactor: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Graph.Adj.Val {
+		if v != 1 {
+			t.Fatalf("edge weight %v, want 1", v)
+		}
+	}
+}
+
+func TestKroneckerRejectsBadOptions(t *testing.T) {
+	if _, err := Kronecker(KroneckerOptions{A: 0.5, B: 0.4, C: 0.2}); err == nil {
+		t.Fatal("accepted quadrant probabilities summing past 1")
+	}
+	if _, err := Kronecker(KroneckerOptions{Reciprocity: 1.5}); err == nil {
+		t.Fatal("accepted reciprocity > 1")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	d, _ := Citation(CitationOptions{Nodes: 10, Seed: 1})
+	_ = d
+	// Direct check of the sampler.
+	rngSum := 0
+	const trials = 20000
+	r := newTestRand(9)
+	for i := 0; i < trials; i++ {
+		rngSum += poisson(r, 4.4)
+	}
+	mean := float64(rngSum) / trials
+	if math.Abs(mean-4.4) > 0.1 {
+		t.Fatalf("poisson mean %v, want ≈ 4.4", mean)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

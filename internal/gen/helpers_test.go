@@ -1,0 +1,7 @@
+package gen
+
+import "math/rand"
+
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

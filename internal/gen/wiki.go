@@ -1,0 +1,341 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"symcluster/internal/eval"
+	"symcluster/internal/graph"
+	"symcluster/internal/matrix"
+)
+
+// WikiOptions configures the Wikipedia-like generator.
+type WikiOptions struct {
+	// ListClusters is the number of "list-pattern" clusters (the
+	// Guzmania pattern of §5.7): members share out-links to common
+	// concept pages and in-links from common index pages, plus a
+	// reciprocal link with a genus hub, but never link to one another.
+	// Defaults to 120.
+	ListClusters int
+	// ListMembersMin/Max bound the members per list cluster.
+	// Defaults 10 and 30.
+	ListMembersMin, ListMembersMax int
+	// GenusProb is the probability that a list cluster has a "genus"
+	// page with reciprocal links to every member (as Guzmania does).
+	// The remaining clusters are pure shared-link clusters with no
+	// internal edges at all — invisible to direction-dropping
+	// symmetrizations. Defaults to 0.5.
+	GenusProb float64
+	// RecipClusters is the number of conventional densely
+	// interconnected clusters with mostly reciprocal links.
+	// Defaults to 120.
+	RecipClusters int
+	// RecipMembersMin/Max bound members per reciprocal cluster.
+	// Defaults 15 and 40.
+	RecipMembersMin, RecipMembersMax int
+	// RecipIntraProb is the intra-cluster link probability in
+	// reciprocal clusters. Defaults to 0.3.
+	RecipIntraProb float64
+	// RecipBothWaysProb makes an intra-cluster link bidirectional.
+	// Defaults to 0.7 (Wikipedia has 42% symmetric links overall).
+	RecipBothWaysProb float64
+	// ConceptPages is the size of the shared concept-page pool
+	// ("Poales", "Ecuador"). The pool must be small relative to the
+	// cluster count — concept pages serve MANY clusters, which is what
+	// makes them functional hubs and keeps clusters from being trivial
+	// connected components. Defaults to max(ListClusters/2, 20).
+	ConceptPages int
+	// IndexPages is the size of the index-page pool ("Lists of…").
+	// Defaults to max(ListClusters/4, 10).
+	IndexPages int
+	// GlobalHubs is the number of hub pages ("Area", "Geographic
+	// coordinate system") that a large share of all pages link to.
+	// Defaults to 15.
+	GlobalHubs int
+	// HubLinkProb is the probability that any given page links to any
+	// given global hub. Defaults to 0.08, giving hubs in-degrees a
+	// thousand times typical pages' — the pathology that breaks
+	// Bibliometric symmetrization.
+	HubLinkProb float64
+	// DuplicatePairs adds near-duplicate page pairs with identical
+	// link sets (the "Cyathea / Cyathea (Subgenus Cyathea)" analog
+	// behind Table 5). Defaults to 8.
+	DuplicatePairs int
+	// NoisePages is the number of unlabelled background pages.
+	// Defaults to 20% of the structured pages.
+	NoisePages int
+	// NoiseEdgesPerPage is the mean number of random out-links per
+	// noise page. Defaults to 6.
+	NoiseEdgesPerPage float64
+	// ParentCategoryEvery groups this many consecutive list clusters
+	// under an additional overlapping parent category (Wikipedia pages
+	// belong to multiple categories). 0 disables. Defaults to 10.
+	ParentCategoryEvery int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o *WikiOptions) fill() {
+	def := func(p *int, v int) {
+		if *p <= 0 {
+			*p = v
+		}
+	}
+	def(&o.ListClusters, 120)
+	def(&o.ListMembersMin, 10)
+	def(&o.ListMembersMax, 30)
+	def(&o.RecipClusters, 120)
+	def(&o.RecipMembersMin, 15)
+	def(&o.RecipMembersMax, 40)
+	def(&o.ConceptPages, maxInt(o.ListClusters/2, 20))
+	def(&o.IndexPages, maxInt(o.ListClusters/4, 10))
+	def(&o.GlobalHubs, 15)
+	def(&o.DuplicatePairs, 8)
+	if o.GenusProb <= 0 {
+		o.GenusProb = 0.5
+	}
+	if o.RecipIntraProb <= 0 {
+		o.RecipIntraProb = 0.3
+	}
+	if o.RecipBothWaysProb <= 0 {
+		o.RecipBothWaysProb = 0.7
+	}
+	if o.HubLinkProb <= 0 {
+		o.HubLinkProb = 0.08
+	}
+	if o.NoiseEdgesPerPage <= 0 {
+		o.NoiseEdgesPerPage = 6
+	}
+	if o.ParentCategoryEvery < 0 {
+		o.ParentCategoryEvery = 0
+	} else if o.ParentCategoryEvery == 0 {
+		o.ParentCategoryEvery = 10
+	}
+}
+
+// Wiki generates a Wikipedia-like hyperlink graph: a mixture of
+// list-pattern clusters (no intra-cluster links; shared out- and
+// in-links), conventional reciprocal clusters, global hub pages,
+// near-duplicate page pairs and unlabelled noise. Ground-truth
+// categories cover cluster members; concept/index/hub/noise pages are
+// unlabelled, reproducing Wikipedia's ~35% unlabelled share.
+func Wiki(opt WikiOptions) (*Dataset, error) {
+	opt.fill()
+	if opt.ListMembersMax < opt.ListMembersMin || opt.RecipMembersMax < opt.RecipMembersMin {
+		return nil, fmt.Errorf("gen: wiki member bounds inverted: %+v", opt)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Node layout: [list members+hubs][recip members][concepts][indexes]
+	// [global hubs][duplicates][noise], assigned sequentially.
+	var labels []string
+	var cats [][]int
+	newNode := func(label string, categories ...int) int {
+		labels = append(labels, label)
+		if len(categories) > 0 {
+			cats = append(cats, categories)
+		} else {
+			cats = append(cats, nil)
+		}
+		return len(labels) - 1
+	}
+
+	type edge struct{ u, v int }
+	var edges []edge
+	link := func(u, v int) {
+		if u != v {
+			edges = append(edges, edge{u, v})
+		}
+	}
+
+	// Pools created first so clusters can reference them; nodes are
+	// created lazily below to keep ids compact.
+	concepts := make([]int, opt.ConceptPages)
+	for i := range concepts {
+		concepts[i] = newNode(fmt.Sprintf("Concept:%d", i))
+	}
+	indexes := make([]int, opt.IndexPages)
+	for i := range indexes {
+		indexes[i] = newNode(fmt.Sprintf("Index:%d", i))
+	}
+	hubs := make([]int, opt.GlobalHubs)
+	hubNames := []string{"Area", "Population density", "Geographic coordinate system",
+		"Square mile", "Time zone", "Mile", "Geocode", "Degree (angle)", "Octagon",
+		"Record label", "Music genre", "Census", "Postal code", "Elevation", "Country"}
+	for i := range hubs {
+		name := fmt.Sprintf("Hub:%d", i)
+		if i < len(hubNames) {
+			name = "Hub:" + hubNames[i]
+		}
+		hubs[i] = newNode(name)
+	}
+
+	nextCat := 0
+	newCat := func() int {
+		c := nextCat
+		nextCat++
+		return c
+	}
+
+	// List-pattern clusters.
+	var parentCat = -1
+	for c := 0; c < opt.ListClusters; c++ {
+		if opt.ParentCategoryEvery > 0 && c%opt.ParentCategoryEvery == 0 {
+			parentCat = newCat()
+		}
+		cat := newCat()
+		m := opt.ListMembersMin + rng.Intn(opt.ListMembersMax-opt.ListMembersMin+1)
+		hasGenus := rng.Float64() < opt.GenusProb
+		genus := -1
+		if hasGenus {
+			genus = newNode(fmt.Sprintf("List:%d:Genus", c), cat)
+		}
+		// Shared out-links: 3-6 concept pages; shared in-links: 2-4
+		// index pages.
+		nOut := 3 + rng.Intn(4)
+		nIn := 2 + rng.Intn(3)
+		outSet := samplePool(rng, concepts, nOut)
+		inSet := samplePool(rng, indexes, nIn)
+		for i := 0; i < m; i++ {
+			var member int
+			if parentCat >= 0 {
+				member = newNode(fmt.Sprintf("List:%d:Member:%d", c, i), cat, parentCat)
+			} else {
+				member = newNode(fmt.Sprintf("List:%d:Member:%d", c, i), cat)
+			}
+			if hasGenus {
+				link(member, genus)
+				link(genus, member)
+			}
+			for _, t := range outSet {
+				link(member, t)
+			}
+			for _, s := range inSet {
+				link(s, member)
+			}
+		}
+		// The genus page, when present, links to the concepts too.
+		if hasGenus {
+			for _, t := range outSet {
+				link(genus, t)
+			}
+		}
+	}
+
+	// Reciprocal clusters.
+	for c := 0; c < opt.RecipClusters; c++ {
+		cat := newCat()
+		m := opt.RecipMembersMin + rng.Intn(opt.RecipMembersMax-opt.RecipMembersMin+1)
+		members := make([]int, m)
+		for i := range members {
+			members[i] = newNode(fmt.Sprintf("Recip:%d:Member:%d", c, i), cat)
+		}
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				if rng.Float64() < opt.RecipIntraProb {
+					link(members[i], members[j])
+					if rng.Float64() < opt.RecipBothWaysProb {
+						link(members[j], members[i])
+					}
+				}
+			}
+		}
+		// A couple of concept out-links to tie clusters into the graph.
+		for _, t := range samplePool(rng, concepts, 2) {
+			link(members[rng.Intn(m)], t)
+		}
+	}
+
+	// Near-duplicate pairs: identical out-links (to concepts) and
+	// identical in-links (from indexes), plus mutual links.
+	for d := 0; d < opt.DuplicatePairs; d++ {
+		a := newNode(fmt.Sprintf("Dup:%d:a", d))
+		bNode := newNode(fmt.Sprintf("Dup:%d:b", d))
+		link(a, bNode)
+		link(bNode, a)
+		for _, t := range samplePool(rng, concepts, 4) {
+			link(a, t)
+			link(bNode, t)
+		}
+		for _, s := range samplePool(rng, indexes, 3) {
+			link(s, a)
+			link(s, bNode)
+		}
+	}
+
+	// Noise pages.
+	structured := len(labels)
+	noiseN := opt.NoisePages
+	if noiseN <= 0 {
+		noiseN = structured / 5
+	}
+	noiseStart := len(labels)
+	for i := 0; i < noiseN; i++ {
+		newNode(fmt.Sprintf("Noise:%d", i))
+	}
+	total := len(labels)
+	for i := noiseStart; i < total; i++ {
+		deg := poisson(rng, opt.NoiseEdgesPerPage)
+		for e := 0; e < deg; e++ {
+			link(i, rng.Intn(total))
+		}
+	}
+
+	// Global hub links: every page links to each hub with HubLinkProb;
+	// hubs link back to a tiny random subset.
+	for i := 0; i < total; i++ {
+		for _, h := range hubs {
+			if i != h && rng.Float64() < opt.HubLinkProb {
+				link(i, h)
+			}
+		}
+	}
+	for _, h := range hubs {
+		for e := 0; e < 20; e++ {
+			link(h, rng.Intn(total))
+		}
+	}
+
+	b := matrix.NewBuilder(total, total)
+	b.Reserve(len(edges))
+	seen := make(map[int64]bool, len(edges))
+	for _, e := range edges {
+		key := int64(e.u)*int64(total) + int64(e.v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Add(e.u, e.v, 1)
+	}
+
+	g, err := graph.NewDirected(b.Build(), labels)
+	if err != nil {
+		return nil, fmt.Errorf("gen: wiki: %w", err)
+	}
+	truth, err := eval.NewGroundTruth(cats)
+	if err != nil {
+		return nil, fmt.Errorf("gen: wiki truth: %w", err)
+	}
+	return &Dataset{Name: "wiki", Graph: g, Truth: truth}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// samplePool draws n distinct elements from pool (all of them when
+// n >= len(pool)).
+func samplePool(rng *rand.Rand, pool []int, n int) []int {
+	if n >= len(pool) {
+		return append([]int(nil), pool...)
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]int, n)
+	for i, p := range idx {
+		out[i] = pool[p]
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func directedFromDense(t *testing.T, d [][]float64) *Directed {
+	t.Helper()
+	g, err := NewDirected(matrix.FromDense(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func undirectedFromDense(t *testing.T, d [][]float64) *Undirected {
+	t.Helper()
+	g, err := NewUndirected(matrix.FromDense(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewDirectedRejectsNonSquare(t *testing.T) {
+	if _, err := NewDirected(matrix.Zero(2, 3), nil); err == nil {
+		t.Fatal("accepted non-square adjacency")
+	}
+}
+
+func TestNewDirectedRejectsBadLabels(t *testing.T) {
+	if _, err := NewDirected(matrix.Zero(2, 2), []string{"a"}); err == nil {
+		t.Fatal("accepted mismatched labels")
+	}
+}
+
+func TestLabelFallback(t *testing.T) {
+	g := directedFromDense(t, [][]float64{{0, 1}, {0, 0}})
+	if g.Label(1) != "v1" {
+		t.Fatalf("unlabelled fallback = %q", g.Label(1))
+	}
+	g.Labels = []string{"alpha", "beta"}
+	if g.Label(1) != "beta" {
+		t.Fatalf("label = %q", g.Label(1))
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := directedFromDense(t, [][]float64{
+		{0, 1, 1},
+		{0, 0, 1},
+		{0, 0, 0},
+	})
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	if out[0] != 2 || out[1] != 1 || out[2] != 0 {
+		t.Fatalf("out degrees %v", out)
+	}
+	if in[0] != 0 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("in degrees %v", in)
+	}
+}
+
+func TestSymmetricLinkFraction(t *testing.T) {
+	// Edges: 0→1, 1→0 (reciprocal pair), 0→2 (one-way). 2 of 3 edges
+	// have a reciprocal.
+	g := directedFromDense(t, [][]float64{
+		{0, 1, 1},
+		{1, 0, 0},
+		{0, 0, 0},
+	})
+	got := g.SymmetricLinkFraction()
+	want := 2.0 / 3.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("symmetric fraction = %v, want %v", got, want)
+	}
+}
+
+func TestSymmetricLinkFractionExtremes(t *testing.T) {
+	empty := directedFromDense(t, [][]float64{{0, 0}, {0, 0}})
+	if empty.SymmetricLinkFraction() != 0 {
+		t.Fatal("empty graph fraction != 0")
+	}
+	full := directedFromDense(t, [][]float64{{0, 1}, {1, 0}})
+	if full.SymmetricLinkFraction() != 1 {
+		t.Fatal("fully reciprocal graph fraction != 1")
+	}
+	oneway := directedFromDense(t, [][]float64{{0, 1}, {0, 0}})
+	if oneway.SymmetricLinkFraction() != 0 {
+		t.Fatal("one-way edge counted as symmetric")
+	}
+}
+
+func TestUndirectedRejectsAsymmetric(t *testing.T) {
+	if _, err := NewUndirected(matrix.FromDense([][]float64{{0, 1}, {0, 0}}), nil); err == nil {
+		t.Fatal("accepted asymmetric adjacency for small graph")
+	}
+}
+
+func TestUndirectedEdgeCount(t *testing.T) {
+	g := undirectedFromDense(t, [][]float64{
+		{2, 1, 0},
+		{1, 0, 3},
+		{0, 3, 0},
+	})
+	// Edges: {0,1}, {1,2} and the self-loop at 0.
+	if got := g.M(); got != 3 {
+		t.Fatalf("M = %d, want 3", got)
+	}
+}
+
+func TestWeightedDegrees(t *testing.T) {
+	g := undirectedFromDense(t, [][]float64{
+		{0, 2},
+		{2, 0},
+	})
+	wd := g.WeightedDegrees()
+	if wd[0] != 2 || wd[1] != 2 {
+		t.Fatalf("weighted degrees %v", wd)
+	}
+}
+
+func TestTopEdges(t *testing.T) {
+	g := undirectedFromDense(t, [][]float64{
+		{9, 5, 1},
+		{5, 0, 7},
+		{1, 7, 0},
+	})
+	top := g.TopEdges(2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].U != 1 || top[0].V != 2 || top[0].Weight != 7 {
+		t.Fatalf("top edge = %+v (self-loop must be excluded)", top[0])
+	}
+	if top[1].U != 0 || top[1].V != 1 || top[1].Weight != 5 {
+		t.Fatalf("second edge = %+v", top[1])
+	}
+	all := g.TopEdges(100)
+	if len(all) != 3 {
+		t.Fatalf("asked for more than exist: %d", len(all))
+	}
+}
+
+func TestTopEdgesDeterministicTies(t *testing.T) {
+	g := undirectedFromDense(t, [][]float64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	})
+	top := g.TopEdges(3)
+	if top[0].U != 0 || top[0].V != 1 || top[1].U != 0 || top[1].V != 2 || top[2].U != 1 || top[2].V != 2 {
+		t.Fatalf("tie order not deterministic: %+v", top)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := undirectedFromDense(t, [][]float64{
+		{0, 1, 0, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	})
+	labels, count := g.ConnectedComponents()
+	if count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	g := undirectedFromDense(t, [][]float64{
+		{0, 1, 0},
+		{1, 0, 0},
+		{0, 0, 0},
+	})
+	if got := g.Singletons(); got != 1 {
+		t.Fatalf("singletons = %d, want 1", got)
+	}
+	// A node with only a self-loop is still a singleton.
+	loop := undirectedFromDense(t, [][]float64{{4}})
+	if got := loop.Singletons(); got != 1 {
+		t.Fatalf("self-loop-only singletons = %d, want 1", got)
+	}
+}
+
+func TestHistogramDegrees(t *testing.T) {
+	h := HistogramDegrees([]int{0, 1, 1, 2, 3, 4, 7, 8, 100})
+	if h.Zero != 1 {
+		t.Fatalf("zero bucket = %d", h.Zero)
+	}
+	// [1,2): two nodes; [2,4): two; [4,8): two; [8,16): one; [64,128): one.
+	want := map[int]int{0: 2, 1: 2, 2: 2, 3: 1, 6: 1}
+	for b, n := range want {
+		if h.Buckets[b] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", b, h.Buckets[b], n, h.Buckets)
+		}
+	}
+}
+
+func TestDegreeSummaries(t *testing.T) {
+	d := []int{1, 5, 3, 2}
+	if MaxDegree(d) != 5 {
+		t.Fatalf("max = %d", MaxDegree(d))
+	}
+	if MedianDegree(d) != 2 {
+		t.Fatalf("median = %d", MedianDegree(d))
+	}
+	if MeanDegree(d) != 2.75 {
+		t.Fatalf("mean = %v", MeanDegree(d))
+	}
+	if MaxDegree(nil) != 0 || MedianDegree(nil) != 0 || MeanDegree(nil) != 0 {
+		t.Fatal("empty-sequence summaries non-zero")
+	}
+}

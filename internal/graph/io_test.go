@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := directedFromDense(t, [][]float64{
+		{0, 1, 2.5},
+		{0, 0, 0},
+		{1, 0, 0},
+	})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(g.Adj, back.Adj, 0) {
+		t.Fatalf("round trip changed graph:\n%v\nvs\n%v", g.Adj.ToDense(), back.Adj.ToDense())
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n0 1\n1 2 3.5\n\n# trailing\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Adj.At(1, 2) != 3.5 {
+		t.Fatalf("weight = %v", g.Adj.At(1, 2))
+	}
+}
+
+func TestReadEdgeListDuplicatesSummed(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 2\n0 1 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Adj.At(0, 1) != 5 {
+		t.Fatalf("duplicate edge weight = %v, want 5", g.Adj.At(0, 1))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",          // too few fields
+		"0 1 2 3\n",    // too many fields
+		"a 1\n",        // bad source
+		"0 b\n",        // bad destination
+		"-1 0\n",       // negative id
+		"0 1 weight\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	labels := []string{"Area", "Square mile", "Guzmania lingulata"}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(labels) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range labels {
+		if back[i] != labels[i] {
+			t.Fatalf("label %d = %q, want %q", i, back[i], labels[i])
+		}
+	}
+}
+
+func TestWriteLabelsRejectsNewline(t *testing.T) {
+	if err := WriteLabels(&bytes.Buffer{}, []string{"bad\nlabel"}); err == nil {
+		t.Fatal("accepted label with newline")
+	}
+}
+
+func TestGroundTruthRoundTrip(t *testing.T) {
+	cats := [][]int{
+		{0, 3},
+		nil, // unlabelled node
+		{7},
+	}
+	var buf bytes.Buffer
+	if err := WriteGroundTruth(&buf, cats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGroundTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("len = %d", len(back))
+	}
+	if len(back[0]) != 2 || back[0][0] != 0 || back[0][1] != 3 {
+		t.Fatalf("node 0 cats = %v", back[0])
+	}
+	if back[1] != nil {
+		t.Fatalf("node 1 cats = %v, want nil", back[1])
+	}
+	if len(back[2]) != 1 || back[2][0] != 7 {
+		t.Fatalf("node 2 cats = %v", back[2])
+	}
+}
+
+func TestReadGroundTruthRejectsBadIDs(t *testing.T) {
+	if _, err := ReadGroundTruth(strings.NewReader("0 x\n")); err == nil {
+		t.Fatal("accepted non-numeric category")
+	}
+	if _, err := ReadGroundTruth(strings.NewReader("-2\n")); err == nil {
+		t.Fatal("accepted negative category")
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func randomUndirected(rng *rand.Rand, n int, avgDeg float64, weighted bool) *Undirected {
+	b := matrix.NewBuilder(n, n)
+	edges := int(float64(n) * avgDeg / 2)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		w := 1.0
+		if weighted {
+			w = float64(1 + rng.Intn(9))
+		}
+		b.Add(u, v, w)
+		b.Add(v, u, w)
+	}
+	g, err := NewUndirected(b.Build(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestMetisRoundTripUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomUndirected(rng, 40, 5, false)
+	var buf bytes.Buffer
+	if err := WriteMetisGraph(&buf, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMetisGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(back.Adj, g.Adj, 0) {
+		t.Fatal("unweighted round trip changed the graph")
+	}
+}
+
+func TestMetisRoundTripWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomUndirected(rng, 30, 4, true)
+	var buf bytes.Buffer
+	if err := WriteMetisGraph(&buf, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "001") {
+		t.Fatal("weighted graph written without fmt 001")
+	}
+	back, err := ReadMetisGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(back.Adj, g.Adj, 0) {
+		t.Fatal("weighted round trip changed the graph")
+	}
+}
+
+func TestMetisWeightScaling(t *testing.T) {
+	// Real-valued weights survive via scaling.
+	b := matrix.NewBuilder(2, 2)
+	b.Add(0, 1, 0.123)
+	b.Add(1, 0, 0.123)
+	g, _ := NewUndirected(b.Build(), nil)
+	var buf bytes.Buffer
+	if err := WriteMetisGraph(&buf, g, 1000); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMetisGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Adj.At(0, 1) != 123 {
+		t.Fatalf("scaled weight = %v, want 123", back.Adj.At(0, 1))
+	}
+}
+
+func TestMetisSkipsSelfLoops(t *testing.T) {
+	b := matrix.NewBuilder(2, 2)
+	b.Add(0, 0, 5)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	g, _ := NewUndirected(b.Build(), nil)
+	var buf bytes.Buffer
+	if err := WriteMetisGraph(&buf, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMetisGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Adj.At(0, 0) != 0 {
+		t.Fatal("self-loop survived METIS round trip")
+	}
+	// Note: fmt "001" is triggered by the self-loop weight 5 even
+	// though the surviving edge is unit weight — harmless.
+	if back.Adj.At(0, 1) != 1 {
+		t.Fatalf("edge weight %v", back.Adj.At(0, 1))
+	}
+}
+
+func TestReadMetisErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"2\n",                   // short header
+		"x 1\n1\n2\n",           // bad vertex count
+		"2 1 011\n2\n1\n",       // vertex weights unsupported
+		"2 1\n3\n1\n",           // neighbour out of range
+		"2 1\n2\n",              // too few vertex lines
+		"2 1\n2\n1\n1\n",        // extra vertex line
+		"2 1 001\n2 1 1\n1 1\n", // odd fields in weighted row
+		"2 1 001\n2 0\n1 0\n",   // non-positive weight
+	}
+	for _, in := range cases {
+		if _, err := ReadMetisGraph(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestReadMetisComments(t *testing.T) {
+	in := "% header comment\n3 2\n2 3\n1\n1\n"
+	g, err := ReadMetisGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}

@@ -1,0 +1,156 @@
+package local
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func blocks(rng *rand.Rand, k, sz int, pin, pout float64) (*matrix.CSR, []int) {
+	n := k * sz
+	truth := make([]int, n)
+	for i := range truth {
+		truth[i] = i / sz
+	}
+	b := matrix.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pout
+			if truth[i] == truth[j] {
+				p = pin
+			}
+			if rng.Float64() < p {
+				b.Add(i, j, 1)
+				b.Add(j, i, 1)
+			}
+		}
+	}
+	return b.Build(), truth
+}
+
+func TestApproxPPRMassBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	adj, _ := blocks(rng, 3, 20, 0.4, 0.02)
+	ppr, err := ApproxPPR(adj, 5, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range ppr {
+		if v < 0 {
+			t.Fatalf("negative PPR mass %v", v)
+		}
+		total += v
+	}
+	if total > 1+1e-9 {
+		t.Fatalf("total settled mass %v exceeds 1", total)
+	}
+	if total < 0.1 {
+		t.Fatalf("total settled mass %v suspiciously low", total)
+	}
+	if ppr[5] <= 0 {
+		t.Fatal("seed has no settled mass")
+	}
+}
+
+func TestApproxPPRLocalised(t *testing.T) {
+	// Most of the PPR mass from a seed stays inside the seed's block.
+	rng := rand.New(rand.NewSource(2))
+	adj, truth := blocks(rng, 4, 25, 0.4, 0.005)
+	seed := 30 // block 1
+	ppr, err := ApproxPPR(adj, seed, PPROptions{Epsilon: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inside, outside float64
+	for u, v := range ppr {
+		if truth[u] == truth[seed] {
+			inside += v
+		} else {
+			outside += v
+		}
+	}
+	if inside <= 4*outside {
+		t.Fatalf("PPR not localised: inside %v vs outside %v", inside, outside)
+	}
+}
+
+func TestApproxPPRIsolatedSeed(t *testing.T) {
+	adj := matrix.Zero(5, 5)
+	ppr, err := ApproxPPR(adj, 2, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ppr[2]-1) > 1e-12 || len(ppr) != 1 {
+		t.Fatalf("isolated seed PPR = %v", ppr)
+	}
+}
+
+func TestApproxPPRErrors(t *testing.T) {
+	if _, err := ApproxPPR(matrix.Zero(2, 3), 0, PPROptions{}); err == nil {
+		t.Fatal("accepted non-square")
+	}
+	if _, err := ApproxPPR(matrix.Zero(3, 3), 7, PPROptions{}); err == nil {
+		t.Fatal("accepted out-of-range seed")
+	}
+}
+
+func TestLocalClusterRecoversSeedBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	adj, truth := blocks(rng, 4, 25, 0.45, 0.004)
+	res, err := LocalCluster(adj, 60, PPROptions{Epsilon: 1e-5}) // block 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conductance > 0.3 {
+		t.Fatalf("conductance %v too high", res.Conductance)
+	}
+	inBlock := 0
+	for _, u := range res.Nodes {
+		if truth[u] == 2 {
+			inBlock++
+		}
+	}
+	if inBlock < 18 {
+		t.Fatalf("recovered only %d of block 2 (%d nodes total)", inBlock, len(res.Nodes))
+	}
+	if purity := float64(inBlock) / float64(len(res.Nodes)); purity < 0.8 {
+		t.Fatalf("cluster purity %v", purity)
+	}
+}
+
+func TestSweepCutTwoTriangles(t *testing.T) {
+	// PPR from node 0 of two bridged triangles should sweep out the
+	// first triangle with conductance 1/7.
+	b := matrix.NewBuilder(6, 6)
+	add := func(u, v int) { b.Add(u, v, 1); b.Add(v, u, 1) }
+	add(0, 1)
+	add(1, 2)
+	add(0, 2)
+	add(3, 4)
+	add(4, 5)
+	add(3, 5)
+	add(2, 3)
+	adj := b.Build()
+	res, err := LocalCluster(adj, 0, PPROptions{Epsilon: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("swept %d nodes, want 3: %v", len(res.Nodes), res.Nodes)
+	}
+	if math.Abs(res.Conductance-1.0/7.0) > 1e-9 {
+		t.Fatalf("conductance %v, want 1/7", res.Conductance)
+	}
+}
+
+func TestSweepCutErrors(t *testing.T) {
+	if _, err := SweepCut(matrix.Zero(3, 3), nil); err == nil {
+		t.Fatal("accepted empty PPR")
+	}
+	if _, err := SweepCut(matrix.Zero(3, 3), map[int32]float64{0: 1}); err == nil {
+		t.Fatal("accepted support without edges")
+	}
+}

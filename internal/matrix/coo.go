@@ -1,0 +1,160 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates (row, col, value) triplets and assembles them into
+// a CSR matrix. Duplicate coordinates are summed. It is the standard way
+// to construct matrices from edge lists and generators.
+type Builder struct {
+	rows, cols int
+	r, c       []int32
+	v          []float64
+}
+
+// NewBuilder returns a Builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Reserve grows the internal triplet storage to hold at least n entries,
+// avoiding repeated reallocation when the caller knows the edge count.
+func (b *Builder) Reserve(n int) {
+	if cap(b.r) < n {
+		r := make([]int32, len(b.r), n)
+		copy(r, b.r)
+		b.r = r
+		c := make([]int32, len(b.c), n)
+		copy(c, b.c)
+		b.c = c
+		v := make([]float64, len(b.v), n)
+		copy(v, b.v)
+		b.v = v
+	}
+}
+
+// Add records the triplet (i, j, val). Panics on out-of-range indices:
+// silently clipping would corrupt downstream experiments.
+func (b *Builder) Add(i, j int, val float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("matrix: Builder.Add index (%d,%d) out of range %dx%d", i, j, b.rows, b.cols))
+	}
+	b.r = append(b.r, int32(i))
+	b.c = append(b.c, int32(j))
+	b.v = append(b.v, val)
+}
+
+// Len returns the number of recorded triplets (before deduplication).
+func (b *Builder) Len() int { return len(b.r) }
+
+// Build assembles the triplets into CSR form, summing duplicates and
+// dropping entries that sum to exactly zero. The Builder is drained and
+// may be reused afterwards.
+func (b *Builder) Build() *CSR {
+	m := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int64, b.rows+1)}
+	if len(b.r) == 0 {
+		return m
+	}
+
+	// Counting sort by row, then sort each row's slice by column. This is
+	// O(nnz + rows + Σ r log r) and avoids sorting the full triplet list.
+	counts := make([]int64, b.rows+1)
+	for _, i := range b.r {
+		counts[i+1]++
+	}
+	for i := 0; i < b.rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	cs := make([]int32, len(b.c))
+	vs := make([]float64, len(b.v))
+	next := make([]int64, b.rows)
+	copy(next, counts[:b.rows])
+	for k, i := range b.r {
+		p := next[i]
+		cs[p] = b.c[k]
+		vs[p] = b.v[k]
+		next[i]++
+	}
+
+	for i := 0; i < b.rows; i++ {
+		lo, hi := counts[i], counts[i+1]
+		row := rowSorter{cols: cs[lo:hi], vals: vs[lo:hi]}
+		sort.Sort(row)
+		// Merge duplicates within the sorted row.
+		var prev int32 = -1
+		for k := lo; k < hi; k++ {
+			if cs[k] == prev {
+				m.Val[len(m.Val)-1] += vs[k]
+				continue
+			}
+			prev = cs[k]
+			m.ColIdx = append(m.ColIdx, cs[k])
+			m.Val = append(m.Val, vs[k])
+		}
+		// Drop exact zeros produced by cancellation.
+		w := int(m.RowPtr[i])
+		for k := w; k < len(m.ColIdx); k++ {
+			if m.Val[k] != 0 {
+				m.ColIdx[w] = m.ColIdx[k]
+				m.Val[w] = m.Val[k]
+				w++
+			}
+		}
+		m.ColIdx = m.ColIdx[:w]
+		m.Val = m.Val[:w]
+		m.RowPtr[i+1] = int64(w)
+	}
+
+	b.r, b.c, b.v = b.r[:0], b.c[:0], b.v[:0]
+	return m
+}
+
+type rowSorter struct {
+	cols []int32
+	vals []float64
+}
+
+func (s rowSorter) Len() int           { return len(s.cols) }
+func (s rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s rowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// FromDense builds a CSR matrix from a dense row-major matrix, storing
+// only the non-zero entries. Intended for tests and tiny examples.
+func FromDense(d [][]float64) *CSR {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	b := NewBuilder(rows, cols)
+	for i, row := range d {
+		if len(row) != cols {
+			panic("matrix: FromDense ragged input")
+		}
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToDense expands the matrix to a dense row-major [][]float64. Intended
+// for tests and tiny examples only.
+func (m *CSR) ToDense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			d[i][c] = vals[k]
+		}
+	}
+	return d
+}

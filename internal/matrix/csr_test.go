@@ -1,0 +1,386 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustValidate(t *testing.T, m *CSR) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("invalid matrix: %v", err)
+	}
+}
+
+// randomCSR builds a random rows×cols matrix with the given expected
+// density and values in [lo, hi]. Deterministic for a given rng.
+func randomCSR(rng *rand.Rand, rows, cols int, density, lo, hi float64) *CSR {
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, lo+rng.Float64()*(hi-lo))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestZero(t *testing.T) {
+	m := Zero(3, 4)
+	mustValidate(t, m)
+	if m.NNZ() != 0 {
+		t.Fatalf("Zero NNZ = %d, want 0", m.NNZ())
+	}
+	if m.At(1, 2) != 0 {
+		t.Fatalf("Zero At = %v, want 0", m.At(1, 2))
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(5)
+	mustValidate(t, m)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := m.At(i, j); got != want {
+				t.Fatalf("I(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m := Diagonal([]float64{2, 0, -3})
+	mustValidate(t, m)
+	if m.NNZ() != 2 {
+		t.Fatalf("Diagonal NNZ = %d, want 2 (zero dropped)", m.NNZ())
+	}
+	if m.At(0, 0) != 2 || m.At(2, 2) != -3 || m.At(1, 1) != 0 {
+		t.Fatalf("Diagonal entries wrong: %v", m.ToDense())
+	}
+	d := m.Diag()
+	if d[0] != 2 || d[1] != 0 || d[2] != -3 {
+		t.Fatalf("Diag() = %v", d)
+	}
+}
+
+func TestBuilderDuplicatesSummed(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 1.5)
+	b.Add(0, 1, 2.5)
+	b.Add(1, 0, -1)
+	b.Add(1, 0, 1) // cancels to zero -> dropped
+	m := b.Build()
+	mustValidate(t, m)
+	if got := m.At(0, 1); got != 4 {
+		t.Fatalf("summed duplicate = %v, want 4", got)
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled entry dropped)", m.NNZ())
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Add")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestBuilderReuseAfterBuild(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	first := b.Build()
+	if first.NNZ() != 1 {
+		t.Fatalf("first build NNZ = %d", first.NNZ())
+	}
+	b.Add(1, 1, 2)
+	second := b.Build()
+	mustValidate(t, second)
+	if second.NNZ() != 1 || second.At(1, 1) != 2 || second.At(0, 0) != 0 {
+		t.Fatalf("builder not drained between builds: %v", second.ToDense())
+	}
+}
+
+func TestBuilderReserve(t *testing.T) {
+	b := NewBuilder(10, 10)
+	b.Add(0, 0, 1)
+	b.Reserve(100)
+	b.Add(1, 1, 2)
+	m := b.Build()
+	if m.At(0, 0) != 1 || m.At(1, 1) != 2 {
+		t.Fatalf("Reserve lost entries: %v", m.ToDense())
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	d := [][]float64{
+		{1, 0, 2},
+		{0, 0, 0},
+		{-3, 4, 0},
+	}
+	m := FromDense(d)
+	mustValidate(t, m)
+	got := m.ToDense()
+	for i := range d {
+		for j := range d[i] {
+			if got[i][j] != d[i][j] {
+				t.Fatalf("round trip (%d,%d): got %v want %v", i, j, got[i][j], d[i][j])
+			}
+		}
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", m.NNZ())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromDense([][]float64{
+		{1, 2, 0},
+		{0, 3, 4},
+	})
+	tr := m.Transpose()
+	mustValidate(t, tr)
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := randomCSR(rng, 1+rng.Intn(30), 1+rng.Intn(30), 0.2, -5, 5)
+		tt := m.Transpose().Transpose()
+		if !Equal(m, tt, 0) {
+			t.Fatalf("trial %d: (mᵀ)ᵀ != m", trial)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := FromDense([][]float64{
+		{1, 2, 0},
+		{2, 0, 3},
+		{0, 3, 5},
+	})
+	if !sym.IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	asym := FromDense([][]float64{
+		{0, 1},
+		{0, 0},
+	})
+	if asym.IsSymmetric(0) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	rect := Zero(2, 3)
+	if rect.IsSymmetric(0) {
+		t.Fatal("rectangular matrix reported symmetric")
+	}
+}
+
+func TestScaleRowsCols(t *testing.T) {
+	m := FromDense([][]float64{
+		{1, 2},
+		{3, 4},
+	})
+	r := m.ScaleRows([]float64{2, 10})
+	if r.At(0, 1) != 4 || r.At(1, 0) != 30 {
+		t.Fatalf("ScaleRows wrong: %v", r.ToDense())
+	}
+	c := m.ScaleCols([]float64{2, 10})
+	if c.At(0, 1) != 20 || c.At(1, 0) != 6 {
+		t.Fatalf("ScaleCols wrong: %v", c.ToDense())
+	}
+	// Originals untouched.
+	if m.At(0, 1) != 2 {
+		t.Fatal("ScaleRows mutated receiver")
+	}
+}
+
+func TestRowColSumsAndCounts(t *testing.T) {
+	m := FromDense([][]float64{
+		{1, 0, 2},
+		{0, 3, 0},
+	})
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 3 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	cs := m.ColSums()
+	if cs[0] != 1 || cs[1] != 3 || cs[2] != 2 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+	rc := m.RowCounts()
+	if rc[0] != 2 || rc[1] != 1 {
+		t.Fatalf("RowCounts = %v", rc)
+	}
+	cc := m.ColCounts()
+	if cc[0] != 1 || cc[1] != 1 || cc[2] != 1 {
+		t.Fatalf("ColCounts = %v", cc)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := FromDense([][]float64{
+		{2, 2, 0},
+		{0, 0, 0},
+		{0, 0, 5},
+	})
+	n := m.NormalizeRows()
+	mustValidate(t, n)
+	if n.At(0, 0) != 0.5 || n.At(0, 1) != 0.5 {
+		t.Fatalf("row 0 not normalised: %v", n.ToDense())
+	}
+	if n.RowNNZ(1) != 0 {
+		t.Fatal("empty row gained entries")
+	}
+	if n.At(2, 2) != 1 {
+		t.Fatalf("row 2 = %v, want 1", n.At(2, 2))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m := FromDense([][]float64{
+		{0.5, -0.01, 2},
+		{0.009, 0, 1},
+	})
+	p := m.Prune(0.01)
+	mustValidate(t, p)
+	if p.NNZ() != 4 {
+		t.Fatalf("Prune NNZ = %d, want 4 (|-0.01| kept, 0.009 dropped)", p.NNZ())
+	}
+	if p.At(1, 0) != 0 {
+		t.Fatal("entry below threshold survived")
+	}
+	if p.At(0, 1) != -0.01 {
+		t.Fatal("entry at threshold dropped (threshold is inclusive)")
+	}
+}
+
+func TestDropDiagonal(t *testing.T) {
+	m := FromDense([][]float64{
+		{5, 1},
+		{2, 7},
+	})
+	d := m.DropDiagonal()
+	mustValidate(t, d)
+	if d.At(0, 0) != 0 || d.At(1, 1) != 0 || d.At(0, 1) != 1 || d.At(1, 0) != 2 {
+		t.Fatalf("DropDiagonal wrong: %v", d.ToDense())
+	}
+}
+
+func TestAddIdentity(t *testing.T) {
+	m := FromDense([][]float64{
+		{1, 1},
+		{0, 0},
+	})
+	ai := m.AddIdentity()
+	if ai.At(0, 0) != 2 || ai.At(1, 1) != 1 || ai.At(0, 1) != 1 {
+		t.Fatalf("AddIdentity wrong: %v", ai.ToDense())
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromDense([][]float64{
+		{1, 2, 0},
+		{0, 0, 3},
+	})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 3 || y[1] != 3 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	yt := m.MulVecT([]float64{1, 2})
+	if yt[0] != 1 || yt[1] != 2 || yt[2] != 6 {
+		t.Fatalf("MulVecT = %v", yt)
+	}
+}
+
+func TestMulVecTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		m := randomCSR(rng, 1+rng.Intn(20), 1+rng.Intn(20), 0.3, -2, 2)
+		x := make([]float64, m.Rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a := m.MulVecT(x)
+		b := m.Transpose().MulVec(x)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVecT disagrees with Transpose().MulVec at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFrobeniusNormAndMaxAbs(t *testing.T) {
+	m := FromDense([][]float64{
+		{3, 0},
+		{0, -4},
+	})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+	if got := Zero(2, 2).MaxAbs(); got != 0 {
+		t.Fatalf("MaxAbs of zero matrix = %v", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 4}})
+	m.ColIdx[0] = 9 // out of range
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range column")
+	}
+	m = FromDense([][]float64{{1, 2}})
+	m.Val[0] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN")
+	}
+	m = FromDense([][]float64{{1, 2}})
+	m.RowPtr[1] = 5
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted bad RowPtr")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromDense([][]float64{{1, 0}, {0, 2}})
+	b := FromDense([][]float64{{1, 0}, {0, 2 + 1e-12}})
+	if !Equal(a, b, 1e-9) {
+		t.Fatal("Equal rejected near-identical matrices")
+	}
+	if Equal(a, b, 0) {
+		t.Fatal("Equal with zero tol accepted differing matrices")
+	}
+	if Equal(a, Zero(2, 3), 1) {
+		t.Fatal("Equal accepted different shapes")
+	}
+}

@@ -1,0 +1,58 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulPrunedParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(200)
+		a := randomCSR(rng, n, n, 0.1, 0, 2)
+		b := randomCSR(rng, n, n, 0.1, 0, 2)
+		for _, workers := range []int{1, 2, 3, 8} {
+			for _, th := range []float64{0, 0.5} {
+				seq := MulPruned(a, b, th)
+				par := MulPrunedParallel(a, b, th, workers)
+				if !Equal(seq, par, 0) {
+					t.Fatalf("trial %d workers=%d th=%v: parallel differs", trial, workers, th)
+				}
+				// Structure must be bit-identical too, not just values.
+				if seq.NNZ() != par.NNZ() {
+					t.Fatalf("trial %d: nnz %d vs %d", trial, seq.NNZ(), par.NNZ())
+				}
+			}
+		}
+	}
+}
+
+func TestMulPrunedParallelTinyMatrix(t *testing.T) {
+	a := FromDense([][]float64{{1, 2}, {3, 4}})
+	got := MulPrunedParallel(a, a, 0, 16) // workers > rows: sequential path
+	if !Equal(got, Mul(a, a), 1e-12) {
+		t.Fatal("tiny-matrix fallback wrong")
+	}
+}
+
+func TestMulAATParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	x := randomCSR(rng, 120, 60, 0.2, 0, 2)
+	seq := MulAAT(x, 0.1)
+	par := MulAATParallel(x, 0.1, 4)
+	if !Equal(seq, par, 0) {
+		t.Fatal("parallel AAT differs")
+	}
+}
+
+func BenchmarkSpGEMMParallel(b *testing.B) {
+	m := benchGraph(5000, 8)
+	mt := m.Transpose()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MulPrunedParallel(m, mt, 2, workers)
+			}
+		})
+	}
+}

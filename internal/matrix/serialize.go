@@ -1,0 +1,84 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary CSR serialization, so expensive symmetrization products can be
+// computed once and cached. Format (little-endian):
+//
+//	magic "CSR1" | rows u64 | cols u64 | nnz u64
+//	RowPtr  (rows+1) × u64
+//	ColIdx  nnz × u32
+//	Val     nnz × f64
+const csrMagic = "CSR1"
+
+// WriteBinary serialises the matrix.
+func (m *CSR) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(csrMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(m.Rows), uint64(m.Cols), uint64(m.NNZ())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.ColIdx); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Val); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserialises a matrix written by WriteBinary and validates
+// its structural invariants before returning it.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(csrMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("matrix: reading magic: %w", err)
+	}
+	if string(magic) != csrMagic {
+		return nil, fmt.Errorf("matrix: bad magic %q", magic)
+	}
+	var rows, cols, nnz uint64
+	for _, p := range []*uint64{&rows, &cols, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("matrix: reading header: %w", err)
+		}
+	}
+	const maxDim = 1 << 33 // ~8.5e9: defends against corrupt headers
+	if rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("matrix: implausible dimensions %d x %d, nnz %d", rows, cols, nnz)
+	}
+	m := &CSR{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, nnz),
+		Val:    make([]float64, nnz),
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.RowPtr); err != nil {
+		return nil, fmt.Errorf("matrix: reading row pointers: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.ColIdx); err != nil {
+		return nil, fmt.Errorf("matrix: reading column indices: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.Val); err != nil {
+		return nil, fmt.Errorf("matrix: reading values: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("matrix: deserialised matrix invalid: %w", err)
+	}
+	return m, nil
+}

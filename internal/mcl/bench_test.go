@@ -1,0 +1,33 @@
+package mcl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRMCL(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	adj, _ := blockGraph(rng, 10, 60, 0.2, 0.005)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(adj, Options{Inflation: 1.5, MaxIter: 30, MaxPerColumn: 30, ConvergenceTol: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLRMCL(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	adj, _ := blockGraph(rng, 20, 60, 0.15, 0.003)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(adj, Options{
+			Inflation: 1.5, Multilevel: true, CoarsenTo: 200,
+			MaxIter: 30, MaxPerColumn: 30, ConvergenceTol: 1e-3, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package mcl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlainMCLRecoversCleanBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	adj, truth := blockGraph(rng, 3, 20, 0.5, 0.01)
+	res, err := Cluster(adj, Options{Plain: true, Inflation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := agreeFraction(res.Assign, truth); ri < 0.85 {
+		t.Fatalf("plain MCL Rand index %v", ri)
+	}
+}
+
+func TestPlainMCLFragmentsMoreThanRMCL(t *testing.T) {
+	// The motivation for R-MCL (Satuluri & Parthasarathy, KDD 2009):
+	// plain MCL produces far more clusters on sparse real-ish graphs.
+	// Build a noisy sparse graph and compare cluster counts.
+	rng := rand.New(rand.NewSource(22))
+	adj, _ := blockGraph(rng, 8, 40, 0.12, 0.004)
+	plain, err := Cluster(adj, Options{Plain: true, Inflation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Cluster(adj, Options{Inflation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.K < reg.K {
+		t.Fatalf("plain MCL K=%d below R-MCL K=%d; expected more fragmentation", plain.K, reg.K)
+	}
+}
+
+func TestPlainMCLRejectsMultilevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	adj, _ := blockGraph(rng, 2, 15, 0.5, 0.05)
+	if _, err := Cluster(adj, Options{Plain: true, Multilevel: true, CoarsenTo: 10}); err == nil {
+		t.Fatal("accepted Plain+Multilevel")
+	}
+}

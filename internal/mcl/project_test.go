@@ -1,0 +1,63 @@
+package mcl
+
+import (
+	"math"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func TestProjectFlowExpandsAndStaysStochastic(t *testing.T) {
+	// Coarse flow over 2 coarse nodes; fine graph has 4 nodes mapping
+	// 0,1→0 and 2,3→1.
+	coarseFlow := matrix.FromDense([][]float64{
+		{0.8, 0.2},
+		{0.3, 0.7},
+	})
+	fineToCoarse := []int32{0, 0, 1, 1}
+	fine := projectFlow(coarseFlow, fineToCoarse, 4)
+	if fine.Rows != 4 || fine.Cols != 4 {
+		t.Fatalf("dims %dx%d", fine.Rows, fine.Cols)
+	}
+	for i := 0; i < 4; i++ {
+		_, vals := fine.Row(i)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Fine node 0 (coarse 0) should send 0.8 split over fine members of
+	// coarse 0 ({0,1}) → 0.4 each, and 0.2 split over {2,3} → 0.1 each.
+	if math.Abs(fine.At(0, 0)-0.4) > 1e-9 || math.Abs(fine.At(0, 3)-0.1) > 1e-9 {
+		t.Fatalf("projected flow wrong: %v", fine.ToDense())
+	}
+}
+
+func TestExtractClustersIsolatedNode(t *testing.T) {
+	f := matrix.FromDense([][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 0}, // empty flow row: self cluster
+	})
+	assign, k := extractClusters(f)
+	if k != 3 {
+		t.Fatalf("K = %d, want 3", k)
+	}
+	if assign[0] == assign[2] || assign[1] == assign[2] {
+		t.Fatalf("isolated node merged: %v", assign)
+	}
+}
+
+func TestFlowChangeZeroForIdentical(t *testing.T) {
+	m := matrix.FromDense([][]float64{{0.5, 0.5}})
+	if d := flowChange(m, m); d != 0 {
+		t.Fatalf("self change %v", d)
+	}
+	n := matrix.FromDense([][]float64{{1, 0}})
+	if d := flowChange(m, n); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("change %v, want 1 (|0.5|+|0.5| over one row)", d)
+	}
+}

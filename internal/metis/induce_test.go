@@ -1,0 +1,75 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func TestInduceSubgraph(t *testing.T) {
+	full := matrix.FromDense([][]float64{
+		{0, 1, 2, 0},
+		{1, 0, 0, 3},
+		{2, 0, 0, 4},
+		{0, 3, 4, 0},
+	})
+	nodes := []int32{0, 2, 3}
+	weights := []float64{1, 2, 3}
+	sub, w := induce(full, nodes, weights)
+	if sub.Rows != 3 {
+		t.Fatalf("sub dims %d", sub.Rows)
+	}
+	// Local ids: 0→0, 2→1, 3→2. Edges: (0,2)=2 → (0,1); (2,3)=4 → (1,2).
+	if sub.At(0, 1) != 2 || sub.At(1, 0) != 2 {
+		t.Fatalf("edge (0,2) lost: %v", sub.ToDense())
+	}
+	if sub.At(1, 2) != 4 || sub.At(2, 1) != 4 {
+		t.Fatalf("edge (2,3) lost: %v", sub.ToDense())
+	}
+	// Edge (0,1) of the full graph must vanish (node 1 not included).
+	if sub.At(0, 2) != 0 {
+		t.Fatalf("phantom edge: %v", sub.ToDense())
+	}
+	if w[0] != 1 || w[1] != 2 || w[2] != 3 {
+		t.Fatalf("weights %v", w)
+	}
+}
+
+func TestInduceDropsSelfLoops(t *testing.T) {
+	full := matrix.FromDense([][]float64{
+		{7, 1},
+		{1, 0},
+	})
+	sub, _ := induce(full, []int32{0, 1}, []float64{1, 1})
+	if sub.At(0, 0) != 0 {
+		t.Fatal("self-loop survived induce")
+	}
+}
+
+func TestGrowRegionReachesTarget(t *testing.T) {
+	b := matrix.NewBuilder(10, 10)
+	for i := 0; i < 9; i++ {
+		b.Add(i, i+1, 1)
+		b.Add(i+1, i, 1)
+	}
+	adj := b.Build()
+	w := make([]float64, 10)
+	for i := range w {
+		w[i] = 1
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		side := growRegion(adj, w, 5, newRand(seed))
+		count := 0
+		for _, s := range side {
+			if s == 0 {
+				count++
+			}
+		}
+		if count < 5 {
+			t.Fatalf("seed %d: region grew to %d, want >= 5", seed, count)
+		}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,61 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKWayRefineImprovesCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	adj, truth := blockGraph(rng, 4, 30, 0.4, 0.01)
+	// Start from a deliberately damaged version of the truth: swap a
+	// band of nodes between parts.
+	assign := append([]int(nil), truth...)
+	for i := 0; i < 10; i++ {
+		assign[i] = (assign[i] + 1) % 4
+	}
+	before := EdgeCut(adj, assign)
+	refined := kwayRefine(adj, append([]int(nil), assign...), 4, 40, 8)
+	after := EdgeCut(adj, refined)
+	if after >= before {
+		t.Fatalf("k-way refinement did not improve cut: %v -> %v", before, after)
+	}
+}
+
+func TestKWayRefineRespectsBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	adj, _ := blockGraph(rng, 1, 100, 0.1, 0)
+	assign := make([]int, 100)
+	for i := range assign {
+		assign[i] = i % 4
+	}
+	refined := kwayRefine(adj, assign, 4, 30, 8)
+	counts := make([]int, 4)
+	for _, p := range refined {
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c == 0 || float64(c) > 30 {
+			t.Fatalf("part %d weight %d violates balance cap 30: %v", p, c, counts)
+		}
+	}
+}
+
+func TestKWayRefineNeverEmptiesPart(t *testing.T) {
+	// One node strongly attached elsewhere must stay if it is its
+	// part's last member.
+	rng := rand.New(rand.NewSource(33))
+	adj, _ := blockGraph(rng, 2, 20, 0.5, 0.1)
+	assign := make([]int, 40)
+	assign[0] = 1 // singleton part 1
+	refined := kwayRefine(adj, assign, 2, 45, 10)
+	count1 := 0
+	for _, p := range refined {
+		if p == 1 {
+			count1++
+		}
+	}
+	if count1 == 0 {
+		t.Fatal("refinement emptied a part")
+	}
+}

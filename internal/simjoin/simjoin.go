@@ -1,0 +1,158 @@
+// Package simjoin implements all-pairs similarity search in the style
+// of Bayardo, Ma & Srikant ("Scaling up all pairs similarity search",
+// WWW 2007), which the paper's §3.6 cites as the way to curtail
+// similarity computations that provably fall below the prune
+// threshold.
+//
+// SelfJoin(x, t) returns exactly the entries of x·xᵀ with value ≥ t
+// (excluding the diagonal) — the same result as matrix.MulAAT followed
+// by pruning — but skips candidate pairs whose similarity upper bound
+// is below t, using the inverted-index + prefix-bound scheme of
+// All-Pairs-1:
+//
+//   - features (columns) are processed in a fixed order of decreasing
+//     density, so the heaviest features tend to stay unindexed;
+//   - a vector's prefix remains unindexed while the cumulative bound
+//     b = Σ w[c]·maxColWeight[c] stays below t — any pair overlapping
+//     only in both prefixes provably scores < t;
+//   - candidate scores accumulated from the index are completed by a
+//     direct dot product with the candidate's unindexed prefix.
+package simjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"symcluster/internal/matrix"
+)
+
+// indexEntry is one posting of the inverted index: vector id and its
+// weight on the indexed feature.
+type indexEntry struct {
+	row int32
+	w   float64
+}
+
+// feat is one (feature, weight) pair of a vector, carrying the
+// feature's position in the global processing order so prefix merges
+// can compare by rank.
+type feat struct {
+	col  int32
+	rank int32
+	w    float64
+}
+
+// SelfJoin returns the symmetric matrix of all pairwise dot products
+// dot(x_i, x_j) ≥ threshold for i ≠ j (both triangles stored, diagonal
+// omitted). All weights must be non-negative — similarity semantics —
+// and threshold must be positive (with t = 0 nothing can be pruned;
+// use matrix.MulAAT instead).
+func SelfJoin(x *matrix.CSR, threshold float64) (*matrix.CSR, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("simjoin: threshold must be positive, got %v", threshold)
+	}
+	for _, v := range x.Val {
+		if v < 0 {
+			return nil, fmt.Errorf("simjoin: negative weight %v; similarity join requires non-negative vectors", v)
+		}
+	}
+	n := x.Rows
+
+	// Feature order: decreasing column density, so common features sit
+	// early (unindexed) and the index stays small.
+	colCount := x.ColCounts()
+	order := make([]int32, x.Cols)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := colCount[order[a]], colCount[order[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int32, x.Cols)
+	for r, c := range order {
+		rank[c] = int32(r)
+	}
+
+	maxColWeight := make([]float64, x.Cols)
+	for i := 0; i < n; i++ {
+		cols, vals := x.Row(i)
+		for k, c := range cols {
+			if vals[k] > maxColWeight[c] {
+				maxColWeight[c] = vals[k]
+			}
+		}
+	}
+
+	index := make([][]indexEntry, x.Cols)
+	unindexed := make([][]feat, n) // per-row prefix, in rank order
+
+	b := matrix.NewBuilder(n, n)
+	score := make(map[int32]float64, 256)
+
+	rowFeats := make([]feat, 0, 64)
+	for i := 0; i < n; i++ {
+		cols, vals := x.Row(i)
+		rowFeats = rowFeats[:0]
+		for k, c := range cols {
+			rowFeats = append(rowFeats, feat{col: c, rank: rank[c], w: vals[k]})
+		}
+		sort.Slice(rowFeats, func(a, b int) bool { return rowFeats[a].rank < rowFeats[b].rank })
+
+		// Candidate generation from the inverted index.
+		for k := range score {
+			delete(score, k)
+		}
+		for _, f := range rowFeats {
+			for _, e := range index[f.col] {
+				score[e.row] += f.w * e.w
+			}
+		}
+		// Verification: complete each candidate with its unindexed
+		// prefix and emit pairs at or above the threshold.
+		for cand, s := range score {
+			total := s + dotPrefix(rowFeats, unindexed[cand])
+			if total >= threshold {
+				b.Add(i, int(cand), total)
+				b.Add(int(cand), i, total)
+			}
+		}
+		// Split this row: prefix stays unindexed while the bound is
+		// below threshold; the rest goes into the index.
+		var bound float64
+		for _, f := range rowFeats {
+			if bound < threshold {
+				bound += f.w * maxColWeight[f.col]
+			}
+			if bound >= threshold {
+				index[f.col] = append(index[f.col], indexEntry{row: int32(i), w: f.w})
+			} else {
+				unindexed[i] = append(unindexed[i], f)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// dotPrefix computes the dot product between a full feature list and an
+// unindexed prefix, both sorted by feature rank.
+func dotPrefix(full, prefix []feat) float64 {
+	var s float64
+	p, q := 0, 0
+	for p < len(full) && q < len(prefix) {
+		switch {
+		case full[p].rank == prefix[q].rank:
+			s += full[p].w * prefix[q].w
+			p++
+			q++
+		case full[p].rank < prefix[q].rank:
+			p++
+		default:
+			q++
+		}
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package simjoin
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"symcluster/internal/matrix"
+)
+
+// bruteForce computes the reference answer: all off-diagonal entries of
+// x·xᵀ with value ≥ t.
+func bruteForce(x *matrix.CSR, t float64) *matrix.CSR {
+	full := matrix.MulAAT(x, 0).DropDiagonal()
+	return full.Prune(t)
+}
+
+func randomNonNeg(rng *rand.Rand, rows, cols int, density float64) *matrix.CSR {
+	b := matrix.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.Float64()*2)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestSelfJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		x := randomNonNeg(rng, 2+rng.Intn(25), 2+rng.Intn(25), 0.3)
+		threshold := 0.2 + rng.Float64()
+		got, err := SelfJoin(x, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(x, threshold)
+		if !matrix.Equal(got, want, 1e-9) {
+			t.Fatalf("trial %d (t=%v): join disagrees with brute force\ngot %v\nwant %v",
+				trial, threshold, got.ToDense(), want.ToDense())
+		}
+	}
+}
+
+func TestSelfJoinHighThresholdEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomNonNeg(rng, 20, 10, 0.3)
+	got, err := SelfJoin(x, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 {
+		t.Fatalf("nnz = %d, want 0", got.NNZ())
+	}
+}
+
+func TestSelfJoinSymmetricOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomNonNeg(rng, 30, 15, 0.3)
+	got, err := SelfJoin(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSymmetric(1e-12) {
+		t.Fatal("output not symmetric")
+	}
+	for i := 0; i < got.Rows; i++ {
+		if got.At(i, i) != 0 {
+			t.Fatal("diagonal entry present")
+		}
+	}
+}
+
+func TestSelfJoinRejectsBadInput(t *testing.T) {
+	if _, err := SelfJoin(matrix.Identity(3), 0); err == nil {
+		t.Fatal("accepted zero threshold")
+	}
+	neg := matrix.FromDense([][]float64{{-1, 0}, {0, 1}})
+	if _, err := SelfJoin(neg, 0.5); err == nil {
+		t.Fatal("accepted negative weights")
+	}
+}
+
+func TestSelfJoinIdenticalRows(t *testing.T) {
+	x := matrix.FromDense([][]float64{
+		{1, 1, 0},
+		{1, 1, 0},
+		{0, 0, 1},
+	})
+	got, err := SelfJoin(x, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 1) != 2 || got.At(1, 0) != 2 {
+		t.Fatalf("duplicate rows similarity = %v, want 2", got.At(0, 1))
+	}
+	if got.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", got.NNZ())
+	}
+}
+
+// quick.Generator for non-negative sparse matrices.
+type nnGen struct{ X *matrix.CSR }
+
+// Generate implements quick.Generator.
+func (nnGen) Generate(rng *rand.Rand, size int) reflect.Value {
+	rows := 1 + rng.Intn(15)
+	cols := 1 + rng.Intn(15)
+	b := matrix.NewBuilder(rows, cols)
+	entries := rng.Intn(rows * cols)
+	for e := 0; e < entries; e++ {
+		b.Add(rng.Intn(rows), rng.Intn(cols), float64(1+rng.Intn(4))/2)
+	}
+	return reflect.ValueOf(nnGen{X: b.Build()})
+}
+
+func TestQuickSelfJoinEquivalence(t *testing.T) {
+	f := func(g nnGen, thRaw uint8) bool {
+		threshold := 0.25 + float64(thRaw)/64
+		got, err := SelfJoin(g.X, threshold)
+		if err != nil {
+			return false
+		}
+		return matrix.Equal(got, bruteForce(g.X, threshold), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfJoinThresholdBoundaryInclusive(t *testing.T) {
+	// A pair with similarity exactly at the threshold must be kept.
+	x := matrix.FromDense([][]float64{
+		{2, 0},
+		{1, 0},
+	})
+	got, err := SelfJoin(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.At(0, 1)-2) > 1e-12 {
+		t.Fatalf("boundary pair dropped: %v", got.ToDense())
+	}
+}

@@ -1,0 +1,14 @@
+package spectral
+
+import (
+	"symcluster/internal/matrix"
+	"symcluster/internal/walk"
+)
+
+func pageRankForTest(a *matrix.CSR) ([]float64, error) {
+	return walk.PageRank(a, walk.DefaultTeleport)
+}
+
+func mustTransition(a *matrix.CSR) *matrix.CSR {
+	return walk.TransitionMatrix(a)
+}

@@ -1,0 +1,54 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"symcluster/internal/matrix"
+)
+
+// SuggestK estimates the number of clusters in a symmetric adjacency
+// by the eigengap heuristic: compute the top maxK+1 eigenvalues of the
+// normalised adjacency D^{-1/2}AD^{-1/2} (whose spectrum mirrors the
+// normalised Laplacian's) and return the k ≥ minK with the largest gap
+// λ_k − λ_{k+1}. For a graph with k well-separated clusters the first
+// k eigenvalues crowd near 1 and the gap after them is large.
+func SuggestK(adj *matrix.CSR, minK, maxK int, seed int64) (int, error) {
+	if adj.Rows != adj.Cols {
+		return 0, fmt.Errorf("spectral: adjacency %dx%d not square", adj.Rows, adj.Cols)
+	}
+	n := adj.Rows
+	if minK < 1 {
+		minK = 1
+	}
+	if maxK <= minK {
+		return 0, fmt.Errorf("spectral: maxK %d must exceed minK %d", maxK, minK)
+	}
+	if maxK+1 > n {
+		maxK = n - 1
+		if maxK <= minK {
+			return 0, fmt.Errorf("spectral: graph too small for the requested range")
+		}
+	}
+	deg := adj.RowSums()
+	dinv := make([]float64, n)
+	for i, d := range deg {
+		if d > 0 {
+			dinv[i] = 1 / math.Sqrt(d)
+		}
+	}
+	nmat := adj.ScaleRows(dinv).ScaleCols(dinv)
+	eig, err := TopEigen(Operator(nmat), maxK+1, LanczosOptions{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	bestK, bestGap := minK, -1.0
+	for k := minK; k <= maxK; k++ {
+		gap := eig.Values[k-1] - eig.Values[k]
+		if gap > bestGap {
+			bestGap = gap
+			bestK = k
+		}
+	}
+	return bestK, nil
+}

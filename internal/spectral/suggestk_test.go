@@ -1,0 +1,34 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+
+	"symcluster/internal/matrix"
+)
+
+func TestSuggestKFindsPlantedCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{2, 4, 6} {
+		adj, _ := symBlocks(rng, k, 40, 0.4, 0.005)
+		got, err := SuggestK(adj, 2, 12, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("planted %d clusters, suggested %d", k, got)
+		}
+	}
+}
+
+func TestSuggestKErrors(t *testing.T) {
+	if _, err := SuggestK(matrix.Zero(2, 3), 2, 5, 1); err == nil {
+		t.Fatal("accepted non-square")
+	}
+	if _, err := SuggestK(matrix.Identity(10), 5, 5, 1); err == nil {
+		t.Fatal("accepted maxK <= minK")
+	}
+	if _, err := SuggestK(matrix.Identity(3), 2, 10, 1); err == nil {
+		t.Fatal("accepted range beyond graph size")
+	}
+}
