@@ -1,0 +1,31 @@
+# Pre-merge checks for symcluster. `make check` is the documented
+# gate: formatting, vet, a full build, the short test suite, and the
+# race detector over the concurrent server subsystem. The long
+# statistical experiments (minutes per seed) run only via `make
+# test-long`.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race test-long
+
+check: fmt vet build test race
+	@echo "check: ok"
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/server/...
+
+test-long:
+	$(GO) test ./...

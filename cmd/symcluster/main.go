@@ -6,22 +6,27 @@
 //
 //	symcluster -in graph.edges [-method dd|bib|aat|rw] [-algo mcl|metis|graclus]
 //	           [-k N] [-alpha A] [-beta B] [-threshold T] [-inflation R]
-//	           [-truth truth.txt] [-seed N] [-stats]
+//	           [-truth truth.txt] [-seed N] [-stats] [-json]
 //
 // With -truth, the micro-averaged best-match F-score is reported on
 // stderr. With -stats, symmetrized-graph statistics are reported on
-// stderr.
+// stderr. With -json, stdout carries a single JSON document in the
+// same schema as symclusterd's POST /v1/cluster response instead of
+// one cluster id per line.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"symcluster"
 	"symcluster/internal/graph"
+	"symcluster/internal/server"
 )
 
 func main() {
@@ -38,6 +43,7 @@ func main() {
 	truthPath := flag.String("truth", "", "ground-truth file for F-score evaluation")
 	seed := flag.Int64("seed", 1, "random seed")
 	stats := flag.Bool("stats", false, "print symmetrized-graph statistics to stderr")
+	jsonOut := flag.Bool("json", false, "emit the symclusterd POST /v1/cluster response schema on stdout")
 	flag.Parse()
 
 	if *in == "" {
@@ -53,18 +59,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "symcluster: read %d nodes, %d edges (%.1f%% symmetric)\n",
 		g.N(), g.M(), 100*g.SymmetricLinkFraction())
 
-	var m symcluster.SymMethod
-	switch *method {
-	case "dd":
-		m = symcluster.DegreeDiscounted
-	case "bib":
-		m = symcluster.Bibliometric
-	case "aat":
-		m = symcluster.AAT
-	case "rw":
-		m = symcluster.RandomWalk
-	default:
-		fmt.Fprintf(os.Stderr, "symcluster: unknown method %q\n", *method)
+	m, err := server.ParseMethod(*method)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symcluster: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -78,6 +75,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	symMillis := float64(time.Since(start)) / float64(time.Millisecond)
 	fmt.Fprintf(os.Stderr, "symcluster: symmetrized (%v) to %d undirected edges in %.2fs\n",
 		m, u.M(), time.Since(start).Seconds())
 	if *stats {
@@ -123,14 +121,9 @@ func main() {
 	var res *symcluster.Clustering
 	switch *algo {
 	case "mcl", "metis", "graclus":
-		var a symcluster.Algorithm
-		switch *algo {
-		case "mcl":
-			a = symcluster.MLRMCL
-		case "metis":
-			a = symcluster.Metis
-		case "graclus":
-			a = symcluster.Graclus
+		a, perr := server.ParseAlgorithm(*algo)
+		if perr != nil {
+			fatal(perr)
 		}
 		res, err = symcluster.Cluster(u, a, symcluster.ClusterOptions{
 			TargetClusters: *k,
@@ -159,9 +152,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	clusterMillis := float64(time.Since(start)) / float64(time.Millisecond)
 	fmt.Fprintf(os.Stderr, "symcluster: clustered (%s) into %d clusters in %.2fs\n",
 		*algo, res.K, time.Since(start).Seconds())
 
+	var avgF *float64
 	if *truthPath != "" {
 		f, err := os.Open(*truthPath)
 		if err != nil {
@@ -176,12 +171,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		avgF = &rep.AvgF
 		fmt.Fprintf(os.Stderr, "symcluster: Avg F-score = %.2f%%\n", 100*rep.AvgF)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	for _, c := range res.Assign {
-		fmt.Fprintln(w, c)
+	if *jsonOut {
+		// The same schema symclusterd serves from POST /v1/cluster, so
+		// scripted pipelines can swap between CLI and service.
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(server.ClusterResponse{
+			Method:           strings.ToLower(*method),
+			Algorithm:        strings.ToLower(*algo),
+			Nodes:            u.N(),
+			UndirectedEdges:  u.M(),
+			K:                res.K,
+			Assign:           res.Assign,
+			SymmetrizeMillis: symMillis,
+			ClusterMillis:    clusterMillis,
+			AvgF:             avgF,
+		}); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, c := range res.Assign {
+			fmt.Fprintln(w, c)
+		}
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)

@@ -1,0 +1,102 @@
+// Command symclusterd serves the two-stage directed-graph clustering
+// pipeline over HTTP: clients register edge lists, then request
+// clusterings by symmetrization method and substrate algorithm.
+// Symmetrized graphs are cached under a byte budget and compute runs on
+// a bounded worker pool; large graphs can be clustered asynchronously
+// via jobs. See README.md "Running the server" for the API.
+//
+// Usage:
+//
+//	symclusterd [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
+//	            [-max-body-mb MB] [-timeout D] [-drain-timeout D]
+//	            [-preload graph.edges]
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener closes,
+// health checks fail, and in-flight work (including async jobs) drains
+// up to -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	symcluster "symcluster"
+	"symcluster/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	queue := flag.Int("queue", 0, "task queue depth (default 4x workers)")
+	cacheMB := flag.Int64("cache-mb", 256, "symmetrization cache budget in MiB")
+	maxBodyMB := flag.Int64("max-body-mb", 64, "maximum request body in MiB")
+	timeout := flag.Duration("timeout", 60*time.Second, "synchronous request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+	preload := flag.String("preload", "", "edge-list file to register at startup (logs its graph id)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "symclusterd: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheMB << 20,
+		MaxBodyBytes:   *maxBodyMB << 20,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+
+	if *preload != "" {
+		g, err := symcluster.ReadEdgeListFile(*preload)
+		if err != nil {
+			logger.Fatalf("preload %s: %v", *preload, err)
+		}
+		info := srv.RegisterGraph(g)
+		logger.Printf("preloaded %s as %s (%d nodes, %d edges)", *preload, info.ID, info.Nodes, info.Edges)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          logger,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers, %d MiB cache)", *addr, *workers, *cacheMB)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutdown: draining up to %v", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: http: %v", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		logger.Printf("shutdown: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "symclusterd: drained cleanly")
+}

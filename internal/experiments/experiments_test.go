@@ -122,19 +122,35 @@ func TestFigure5DegreeDiscountedWins(t *testing.T) {
 }
 
 func TestFigure6BeatsBestWCut(t *testing.T) {
-	series, err := Figure6(datasets(t).Cora, 1)
-	if err != nil {
-		t.Fatal(err)
+	// This is a statistical claim over randomised clusterings (~3 min
+	// per seed); a single seed is both slow and noisy, so the short
+	// (tier-1) run skips it and the long run averages three seeds.
+	if testing.Short() {
+		t.Skip("statistical experiment (~3 min/seed); run without -short")
 	}
-	best := bestBySeries(series)
-	// Claim 2: degree-discounted + any substrate beats BestWCut.
-	for _, algo := range []string{"MLR-MCL", "Metis", "Graclus"} {
-		if best[algo] <= best["BestWCut"] {
-			t.Fatalf("%s %.2f not above BestWCut %.2f", algo, best[algo], best["BestWCut"])
+	const seeds = 3
+	best := map[string]float64{}
+	for seed := int64(1); seed <= seeds; seed++ {
+		series, err := Figure6(datasets(t).Cora, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for algo, v := range bestBySeries(series) {
+			best[algo] += v / seeds
+		}
+		if seed == 1 {
+			_ = FormatSeries("Figure 6(a)", series)
+			_ = FormatTimes("Figure 6(b)", series)
 		}
 	}
-	_ = FormatSeries("Figure 6(a)", series)
-	_ = FormatTimes("Figure 6(b)", series)
+	// Claim 2: degree-discounted + any substrate beats BestWCut on
+	// average across seeds.
+	for _, algo := range []string{"MLR-MCL", "Metis", "Graclus"} {
+		if best[algo] <= best["BestWCut"] {
+			t.Fatalf("%s %.2f not above BestWCut %.2f (mean of %d seeds)",
+				algo, best[algo], best["BestWCut"], seeds)
+		}
+	}
 }
 
 func TestFigure7DegreeDiscountedWinsOnWiki(t *testing.T) {

@@ -5,7 +5,9 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -46,6 +48,32 @@ func (g *Directed) Label(i int) string {
 		return g.Labels[i]
 	}
 	return fmt.Sprintf("v%d", i)
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's structure
+// and weights (dimensions, row extents, column indices, edge weights).
+// Two graphs with identical adjacency matrices hash identically
+// regardless of labels, so the fingerprint can key caches of derived
+// quantities such as symmetrized graphs.
+func (g *Directed) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.Adj.Rows))
+	put(uint64(g.Adj.NNZ()))
+	for _, p := range g.Adj.RowPtr {
+		put(uint64(p))
+	}
+	for _, c := range g.Adj.ColIdx {
+		put(uint64(c))
+	}
+	for _, v := range g.Adj.Val {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
 }
 
 // OutDegrees returns the unweighted out-degree of every node.

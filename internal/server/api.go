@@ -1,0 +1,145 @@
+// Package server implements symclusterd, the HTTP clustering service
+// over the paper's two-stage pipeline (Satuluri & Parthasarathy, EDBT
+// 2011). Clients register directed graphs, then request clusterings by
+// symmetrization method and substrate algorithm; the service caches
+// symmetrized graphs — the expensive, reusable half of the pipeline —
+// under a byte budget and runs the compute on a bounded worker pool
+// with async jobs for large graphs.
+//
+// The package splits into:
+//
+//   - api.go        — JSON wire types, shared with cmd/symcluster -json
+//   - server.go     — Server wiring, routing and lifecycle
+//   - handlers.go   — the /v1 endpoint handlers
+//   - cache.go      — byte-budgeted LRU of symmetrized graphs
+//   - pool.go       — bounded worker pool with context cancellation
+//   - jobs.go       — async job store
+//   - metrics.go    — counters and text exposition for /metrics
+//   - middleware.go — recovery, body limits, request accounting
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	symcluster "symcluster"
+)
+
+// ClusterRequest is the body of POST /v1/cluster. Method and Algorithm
+// use the same short names as the symcluster CLI flags.
+type ClusterRequest struct {
+	// GraphID identifies a graph previously registered via
+	// POST /v1/graphs.
+	GraphID string `json:"graph_id"`
+	// Method is the symmetrization: "dd", "bib", "aat" or "rw".
+	Method string `json:"method"`
+	// Algorithm is the clustering substrate: "mcl", "metis" or
+	// "graclus".
+	Algorithm string `json:"algorithm"`
+	// K is the target cluster count (required for metis/graclus).
+	K int `json:"k,omitempty"`
+	// Alpha and Beta are the degree-discount exponents (dd only);
+	// both default to 0.5 when omitted.
+	Alpha *float64 `json:"alpha,omitempty"`
+	Beta  *float64 `json:"beta,omitempty"`
+	// Threshold prunes product entries below it (dd/bib only).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Inflation overrides the MLR-MCL inflation directly.
+	Inflation float64 `json:"inflation,omitempty"`
+	// Seed drives all randomised choices.
+	Seed int64 `json:"seed,omitempty"`
+	// Async runs the request as a background job: the response is a
+	// JobRef and the result is fetched from GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// ClusterResponse is the result of a clustering run: the body of a
+// synchronous POST /v1/cluster, the Result of a finished job, and the
+// schema cmd/symcluster -json emits.
+type ClusterResponse struct {
+	GraphID   string `json:"graph_id,omitempty"`
+	Method    string `json:"method"`
+	Algorithm string `json:"algorithm"`
+	// Nodes and UndirectedEdges describe the symmetrized graph the
+	// substrate ran on.
+	Nodes           int `json:"nodes"`
+	UndirectedEdges int `json:"undirected_edges"`
+	// K is the number of clusters found; Assign maps node → cluster.
+	K      int   `json:"k"`
+	Assign []int `json:"assign"`
+	// CacheHit reports whether the symmetrized graph came from the
+	// cache (always false for cmd/symcluster).
+	CacheHit bool `json:"cache_hit"`
+	// SymmetrizeMillis and ClusterMillis are wall-clock stage times.
+	SymmetrizeMillis float64 `json:"symmetrize_millis"`
+	ClusterMillis    float64 `json:"cluster_millis"`
+	// AvgF is the micro-averaged best-match F-score against ground
+	// truth, present only when truth is known (CLI -truth flag).
+	AvgF *float64 `json:"avg_f,omitempty"`
+}
+
+// GraphInfo is the response of POST /v1/graphs and GET /v1/graphs/{id}.
+type GraphInfo struct {
+	ID                string  `json:"id"`
+	Nodes             int     `json:"nodes"`
+	Edges             int     `json:"edges"`
+	SymmetricFraction float64 `json:"symmetric_fraction"`
+}
+
+// JobRef is the 202 response of an async POST /v1/cluster.
+type JobRef struct {
+	JobID string `json:"job_id"`
+	// Location is the URL to poll for status and result.
+	Location string `json:"location"`
+}
+
+// JobInfo is the response of GET /v1/jobs/{id}.
+type JobInfo struct {
+	JobID string `json:"job_id"`
+	// State is one of "pending", "running", "done", "failed" or
+	// "canceled".
+	State string `json:"state"`
+	// Result is present once State is "done".
+	Result *ClusterResponse `json:"result,omitempty"`
+	// Error is present once State is "failed".
+	Error string `json:"error,omitempty"`
+	// DurationMillis is the run time, present for finished jobs.
+	DurationMillis float64 `json:"duration_millis,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ParseMethod maps the wire name of a symmetrization ("dd", "bib",
+// "aat", "rw") to the library constant.
+func ParseMethod(name string) (symcluster.SymMethod, error) {
+	switch strings.ToLower(name) {
+	case "dd":
+		return symcluster.DegreeDiscounted, nil
+	case "bib":
+		return symcluster.Bibliometric, nil
+	case "aat":
+		return symcluster.AAT, nil
+	case "rw":
+		return symcluster.RandomWalk, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want dd, bib, aat or rw)", name)
+	}
+}
+
+// ParseAlgorithm maps the wire name of a substrate ("mcl", "metis",
+// "graclus") to the library constant.
+func ParseAlgorithm(name string) (symcluster.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "mcl":
+		return symcluster.MLRMCL, nil
+	case "metis":
+		return symcluster.Metis, nil
+	case "graclus":
+		return symcluster.Graclus, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want mcl, metis or graclus)", name)
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"symcluster/internal/graph"
+)
+
+// CacheKey identifies one symmetrization product: the graph it was
+// computed from (by structural fingerprint) plus every Symmetrize
+// parameter that changes the output. Two requests with the same key
+// would recompute the identical undirected graph, so the second can be
+// served from cache.
+type CacheKey struct {
+	Graph     uint64
+	Method    string
+	Alpha     float64
+	Beta      float64
+	Threshold float64
+}
+
+// Cache is a mutex-guarded LRU of symmetrized graphs under a byte
+// budget. Entries are charged their CSR storage cost; inserting past
+// the budget evicts least-recently-used entries until the new entry
+// fits. A single graph larger than the whole budget is never stored.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recent; values are *cacheEntry
+	items  map[CacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   CacheKey
+	u     *graph.Undirected
+	bytes int64
+}
+
+// NewCache returns a cache holding at most budget bytes of symmetrized
+// graphs. A non-positive budget disables caching (every Get misses).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		order:  list.New(),
+		items:  make(map[CacheKey]*list.Element),
+	}
+}
+
+// GraphBytes estimates the resident size of a symmetrized graph: the
+// CSR arrays plus label headers. This is the quantity charged against
+// the cache budget.
+func GraphBytes(u *graph.Undirected) int64 {
+	b := int64(len(u.Adj.RowPtr))*8 + int64(len(u.Adj.ColIdx))*4 + int64(len(u.Adj.Val))*8
+	for _, l := range u.Labels {
+		b += int64(len(l)) + 16
+	}
+	return b
+}
+
+// Get returns the cached graph for key, marking it most recently used.
+func (c *Cache) Get(key CacheKey) (*graph.Undirected, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).u, true
+}
+
+// Put inserts (or refreshes) the graph under key, evicting LRU entries
+// until the budget holds. Oversized graphs are silently not cached.
+func (c *Cache) Put(key CacheKey, u *graph.Undirected) {
+	bytes := GraphBytes(u)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytes > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += bytes - ent.bytes
+		ent.u, ent.bytes = u, bytes
+		c.order.MoveToFront(el)
+	} else {
+		ent := &cacheEntry{key: key, u: u, bytes: bytes}
+		c.items[key] = c.order.PushFront(ent)
+		c.used += bytes
+	}
+	for c.used > c.budget {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the least-recently-used entry. Callers hold c.mu.
+func (c *Cache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= ent.bytes
+	c.evictions++
+}
+
+// Len returns the number of cached graphs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the bytes currently charged against the budget.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns cumulative hit, miss and eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	symcluster "symcluster"
+)
+
+// apiError carries an HTTP status through the run path so handlers can
+// distinguish client mistakes (400/404) from service faults (500).
+type apiError struct {
+	code int
+	err  error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// httpStatus maps an error from the run path to a status code.
+func httpStatus(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.code
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is the conventional (nginx) code.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleRegisterGraph ingests an edge list (the CLI interchange format:
+// "src dst [weight]" lines) and registers it under a content-derived
+// id. A JSON body {"edges": "..."} is accepted as an alternative for
+// clients that prefer a single content type.
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	var g *symcluster.DirectedGraph
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var body struct {
+			Edges string `json:"edges"`
+		}
+		if derr := json.NewDecoder(r.Body).Decode(&body); derr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", derr))
+			return
+		}
+		g, err = symcluster.ReadEdgeList(strings.NewReader(body.Edges))
+	} else {
+		g, err = symcluster.ReadEdgeList(r.Body)
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("parsing edge list: %w", err))
+		return
+	}
+	if g.N() == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty graph"))
+		return
+	}
+	info := s.RegisterGraph(g)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleGetGraph returns the registration info for one graph.
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	rg, ok := s.lookupGraph(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, rg.info)
+}
+
+// handleCluster serves POST /v1/cluster. Synchronous requests run on
+// the worker pool under the request context plus the configured
+// timeout; async requests return 202 with a job reference and run
+// detached from the client connection (but still on the pool, so drain
+// waits for them).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	var req ClusterRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	runner, err := s.prepareRun(&req)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+
+	if req.Async {
+		job := s.jobs.Create()
+		// The job must outlive the HTTP request: detach from the
+		// request context but keep its values for tracing.
+		jobCtx := context.WithoutCancel(r.Context())
+		wait, err := s.pool.Submit(jobCtx, func(ctx context.Context) (any, error) {
+			s.jobs.Start(job.ID)
+			return runner(ctx)
+		})
+		if err != nil {
+			s.jobs.Finish(job.ID, nil, err, false)
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		go func() {
+			res, rerr := wait()
+			resp, _ := res.(*ClusterResponse)
+			s.jobs.Finish(job.ID, resp, rerr, errors.Is(rerr, context.Canceled))
+		}()
+		writeJSON(w, http.StatusAccepted, JobRef{
+			JobID:    job.ID,
+			Location: "/v1/jobs/" + job.ID,
+		})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := s.pool.Run(ctx, func(ctx context.Context) (any, error) { return runner(ctx) })
+	if err != nil {
+		code := httpStatus(err)
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.(*ClusterResponse))
+}
+
+// prepareRun validates a ClusterRequest against the registry and
+// returns the closure that executes it. Validation happens before the
+// request is queued so bad input never occupies a worker.
+func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*ClusterResponse, error), error) {
+	if req.GraphID == "" {
+		return nil, badRequest("graph_id is required")
+	}
+	rg, ok := s.lookupGraph(req.GraphID)
+	if !ok {
+		return nil, &apiError{code: http.StatusNotFound, err: fmt.Errorf("unknown graph %q", req.GraphID)}
+	}
+	method, err := ParseMethod(req.Method)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	algo, err := ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if (algo == symcluster.Metis || algo == symcluster.Graclus) && req.K < 1 {
+		return nil, badRequest("algorithm %q requires k >= 1", req.Algorithm)
+	}
+	if req.K < 0 {
+		return nil, badRequest("k must be non-negative")
+	}
+	if req.K > rg.info.Nodes {
+		return nil, badRequest("k=%d exceeds %d nodes", req.K, rg.info.Nodes)
+	}
+	if (req.Alpha != nil && (*req.Alpha < 0 || *req.Alpha > 1)) ||
+		(req.Beta != nil && (*req.Beta < 0 || *req.Beta > 1)) {
+		return nil, badRequest("alpha and beta must lie in [0, 1]")
+	}
+	if req.Threshold < 0 {
+		return nil, badRequest("threshold must be non-negative")
+	}
+	if req.Inflation != 0 && req.Inflation <= 1 {
+		return nil, badRequest("inflation must be > 1")
+	}
+
+	opt := symcluster.DefaultSymmetrizeOptions()
+	if req.Alpha != nil {
+		opt.Alpha = *req.Alpha
+	}
+	if req.Beta != nil {
+		opt.Beta = *req.Beta
+	}
+	opt.Threshold = req.Threshold
+
+	runner := func(ctx context.Context) (*ClusterResponse, error) {
+		return s.runCluster(ctx, rg, req, method, algo, opt)
+	}
+	return runner, nil
+}
+
+// runCluster executes the two-stage pipeline for one request, serving
+// the symmetrization from cache when an identical product exists. It
+// runs on a pool worker; the context is checked between stages (the
+// stages themselves are uninterruptible CPU-bound kernels).
+func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, req *ClusterRequest, method symcluster.SymMethod, algo symcluster.Algorithm, opt symcluster.SymmetrizeOptions) (*ClusterResponse, error) {
+	resp := &ClusterResponse{
+		GraphID:   rg.info.ID,
+		Method:    strings.ToLower(req.Method),
+		Algorithm: strings.ToLower(req.Algorithm),
+	}
+
+	key := CacheKey{
+		Graph:     rg.fingerprint,
+		Method:    resp.Method,
+		Alpha:     opt.Alpha,
+		Beta:      opt.Beta,
+		Threshold: opt.Threshold,
+	}
+	start := time.Now()
+	u, hit := s.cache.Get(key)
+	if !hit {
+		var err error
+		u, err = symcluster.Symmetrize(rg.graph, method, opt)
+		if err != nil {
+			return nil, fmt.Errorf("symmetrize: %w", err)
+		}
+		s.cache.Put(key, u)
+	}
+	resp.CacheHit = hit
+	resp.SymmetrizeMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	resp.Nodes = u.N()
+	resp.UndirectedEdges = u.M()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	res, err := symcluster.Cluster(u, algo, symcluster.ClusterOptions{
+		TargetClusters: req.K,
+		Inflation:      req.Inflation,
+		Seed:           req.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp.ClusterMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	resp.K = res.K
+	resp.Assign = res.Assign
+	return resp, ctx.Err()
+}
+
+// handleGetJob serves GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Snapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleHealthz reports liveness; during drain it turns 503 so load
+// balancers stop routing to this instance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, s.cache, s.pool, s.jobs)
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle phase of an async clustering job.
+type JobState string
+
+// Job lifecycle: pending (queued) → running → done | failed.
+// Canceled marks jobs whose context expired before or during the run.
+const (
+	JobPending  JobState = "pending"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one async clustering run. Fields are guarded by the owning
+// JobStore's mutex; handlers read them only through Snapshot.
+type Job struct {
+	ID       string
+	State    JobState
+	Result   *ClusterResponse
+	Err      string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// JobStore tracks async jobs in memory. Finished jobs are retained (up
+// to a cap, oldest evicted first) so clients can fetch results after
+// completion; there is no persistence — jobs die with the process,
+// which graceful drain makes visible by finishing in-flight work first.
+type JobStore struct {
+	mu       sync.Mutex
+	seq      int64
+	jobs     map[string]*Job
+	finished []string // finished job ids, oldest first
+	retain   int
+}
+
+// NewJobStore returns a store retaining at most retain finished jobs
+// (clamped to at least 1).
+func NewJobStore(retain int) *JobStore {
+	if retain < 1 {
+		retain = 1
+	}
+	return &JobStore{jobs: make(map[string]*Job), retain: retain}
+}
+
+// Create registers a new pending job and returns it.
+func (s *JobStore) Create() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq),
+		State:   JobPending,
+		Created: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// Start transitions a job to running.
+func (s *JobStore) Start(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.State = JobRunning
+		j.Started = time.Now()
+	}
+}
+
+// Finish records the outcome of a job and schedules retention.
+func (s *JobStore) Finish(id string, result *ClusterResponse, err error, canceled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.Finished = time.Now()
+	switch {
+	case canceled:
+		j.State = JobCanceled
+		if err != nil {
+			j.Err = err.Error()
+		}
+	case err != nil:
+		j.State = JobFailed
+		j.Err = err.Error()
+	default:
+		j.State = JobDone
+		j.Result = result
+	}
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.retain {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Snapshot returns a copy of the job's current state, or false when the
+// id is unknown (never created, or evicted by retention).
+func (s *JobStore) Snapshot(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Counts returns the number of jobs per state, for /metrics.
+func (s *JobStore) Counts() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make(map[JobState]int, 5)
+	for _, j := range s.jobs {
+		counts[j.State]++
+	}
+	return counts
+}
+
+// Pending returns the number of jobs not yet finished, for drain.
+func (s *JobStore) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.State == JobPending || j.State == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Info renders a snapshot as the wire JobInfo.
+func (j Job) Info() JobInfo {
+	info := JobInfo{JobID: j.ID, State: string(j.State), Result: j.Result, Error: j.Err}
+	if !j.Finished.IsZero() && !j.Started.IsZero() {
+		info.DurationMillis = float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond)
+	}
+	return info
+}

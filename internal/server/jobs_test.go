@@ -1,0 +1,96 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	s := NewJobStore(8)
+	j := s.Create()
+	if j.State != JobPending || j.ID == "" {
+		t.Fatalf("created job = %+v", j)
+	}
+	s.Start(j.ID)
+	if snap, _ := s.Snapshot(j.ID); snap.State != JobRunning {
+		t.Fatalf("state = %s", snap.State)
+	}
+	s.Finish(j.ID, &ClusterResponse{K: 3}, nil, false)
+	snap, ok := s.Snapshot(j.ID)
+	if !ok || snap.State != JobDone || snap.Result.K != 3 {
+		t.Fatalf("snapshot = %+v, %v", snap, ok)
+	}
+	if snap.Info().DurationMillis < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestJobFailureAndCancel(t *testing.T) {
+	s := NewJobStore(8)
+	fail := s.Create()
+	s.Start(fail.ID)
+	s.Finish(fail.ID, nil, errors.New("boom"), false)
+	if snap, _ := s.Snapshot(fail.ID); snap.State != JobFailed || snap.Err != "boom" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	canc := s.Create()
+	s.Finish(canc.ID, nil, errors.New("context canceled"), true)
+	if snap, _ := s.Snapshot(canc.ID); snap.State != JobCanceled {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	counts := s.Counts()
+	if counts[JobFailed] != 1 || counts[JobCanceled] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestJobRetentionEvictsOldestFinished(t *testing.T) {
+	s := NewJobStore(2)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j := s.Create()
+		ids = append(ids, j.ID)
+		s.Start(j.ID)
+		s.Finish(j.ID, &ClusterResponse{K: i}, nil, false)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := s.Snapshot(id); ok {
+			t.Fatalf("job %s survived retention", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := s.Snapshot(id); !ok {
+			t.Fatalf("job %s evicted wrongly", id)
+		}
+	}
+	// Unfinished jobs are never evicted by retention.
+	live := s.Create()
+	for i := 0; i < 4; i++ {
+		j := s.Create()
+		s.Finish(j.ID, nil, nil, false)
+	}
+	if _, ok := s.Snapshot(live.ID); !ok {
+		t.Fatal("pending job evicted by retention")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestJobIDsAreSequentialAndUnique(t *testing.T) {
+	s := NewJobStore(16)
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		j := s.Create()
+		if seen[j.ID] {
+			t.Fatalf("duplicate id %s", j.ID)
+		}
+		seen[j.ID] = true
+		if want := fmt.Sprintf("job-%06d", i+1); j.ID != want {
+			t.Fatalf("id = %s, want %s", j.ID, want)
+		}
+	}
+}

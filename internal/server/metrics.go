@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates service counters for the /metrics text exposition.
+// The format follows the Prometheus text conventions (counter and gauge
+// lines with label sets) without importing any client library, keeping
+// the daemon stdlib-only.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]int64
+	latency  map[string]*latencyAgg
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+type latencyAgg struct {
+	sum   float64 // seconds
+	count int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[requestKey]int64),
+		latency:  make(map[string]*latencyAgg),
+	}
+}
+
+// ObserveRequest records one served request on a route with its status
+// code and duration.
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{route, code}]++
+	agg := m.latency[route]
+	if agg == nil {
+		agg = &latencyAgg{}
+		m.latency[route] = agg
+	}
+	agg.sum += d.Seconds()
+	agg.count++
+}
+
+// WriteTo renders the exposition. The caller supplies the live gauges
+// (cache, pool, jobs) so Metrics itself holds only request counters.
+func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore) {
+	m.mu.Lock()
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	latRoutes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		latRoutes = append(latRoutes, r)
+	}
+	sort.Strings(latRoutes)
+
+	fmt.Fprintln(w, "# TYPE symclusterd_requests_total counter")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "symclusterd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+	fmt.Fprintln(w, "# TYPE symclusterd_request_seconds summary")
+	for _, r := range latRoutes {
+		agg := m.latency[r]
+		fmt.Fprintf(w, "symclusterd_request_seconds_sum{route=%q} %.6f\n", r, agg.sum)
+		fmt.Fprintf(w, "symclusterd_request_seconds_count{route=%q} %d\n", r, agg.count)
+	}
+	m.mu.Unlock()
+
+	hits, misses, evictions := cache.Stats()
+	fmt.Fprintln(w, "# TYPE symclusterd_cache_hits_total counter")
+	fmt.Fprintf(w, "symclusterd_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# TYPE symclusterd_cache_misses_total counter")
+	fmt.Fprintf(w, "symclusterd_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# TYPE symclusterd_cache_evictions_total counter")
+	fmt.Fprintf(w, "symclusterd_cache_evictions_total %d\n", evictions)
+	fmt.Fprintln(w, "# TYPE symclusterd_cache_bytes gauge")
+	fmt.Fprintf(w, "symclusterd_cache_bytes %d\n", cache.Bytes())
+	fmt.Fprintln(w, "# TYPE symclusterd_cache_entries gauge")
+	fmt.Fprintf(w, "symclusterd_cache_entries %d\n", cache.Len())
+
+	fmt.Fprintln(w, "# TYPE symclusterd_queue_depth gauge")
+	fmt.Fprintf(w, "symclusterd_queue_depth %d\n", pool.QueueDepth())
+	fmt.Fprintln(w, "# TYPE symclusterd_workers_busy gauge")
+	fmt.Fprintf(w, "symclusterd_workers_busy %d\n", pool.Busy())
+	fmt.Fprintln(w, "# TYPE symclusterd_workers_total gauge")
+	fmt.Fprintf(w, "symclusterd_workers_total %d\n", pool.Workers())
+
+	fmt.Fprintln(w, "# TYPE symclusterd_jobs gauge")
+	counts := jobs.Counts()
+	for _, st := range []JobState{JobPending, JobRunning, JobDone, JobFailed, JobCanceled} {
+		fmt.Fprintf(w, "symclusterd_jobs{state=%q} %d\n", st, counts[st])
+	}
+}

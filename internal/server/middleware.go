@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code written by a handler so the
+// request-accounting middleware can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with panic recovery, a request body cap,
+// and request/latency accounting under the given route label. It is
+// applied per route so the label is the registered pattern, not the
+// raw (unbounded-cardinality) URL path.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if rec.code == 0 {
+					writeError(rec, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				}
+			}
+			code := rec.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.metrics.ObserveRequest(route, code, time.Since(start))
+		}()
+		h(rec, r)
+	}
+}
+
+// logf logs through the configured logger, or the standard logger when
+// none was set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// writeJSON renders v with a status code. Encoding errors past the
+// header write are unrecoverable and ignored.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}

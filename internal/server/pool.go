@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool errors distinguished by handlers: a full queue maps to 503 with
+// Retry-After, a closed pool to 503 during drain.
+var (
+	ErrQueueFull  = errors.New("server: worker queue full")
+	ErrPoolClosed = errors.New("server: worker pool closed")
+)
+
+// Pool is a bounded worker pool. A fixed number of goroutines drain a
+// bounded task queue; Submit never blocks (it fails fast with
+// ErrQueueFull so the HTTP layer can shed load), and every task carries
+// the request context so client disconnects cancel queued work before
+// it occupies a worker.
+type Pool struct {
+	tasks chan *poolTask
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	workers int
+	busy    atomic.Int64
+}
+
+type poolTask struct {
+	ctx  context.Context
+	fn   func(ctx context.Context) (any, error)
+	res  any
+	err  error
+	done chan struct{}
+}
+
+// NewPool starts workers goroutines over a queue of depth queueDepth.
+// Both arguments are clamped to at least 1.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{
+		tasks:   make(chan *poolTask, queueDepth),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		// A task whose client has already gone away is dropped
+		// without occupying the worker.
+		if err := t.ctx.Err(); err != nil {
+			t.err = err
+			close(t.done)
+			continue
+		}
+		p.busy.Add(1)
+		t.res, t.err = t.fn(t.ctx)
+		p.busy.Add(-1)
+		close(t.done)
+	}
+}
+
+// Submit enqueues fn and returns immediately with a wait function. The
+// wait function blocks until the task finishes or ctx is cancelled;
+// a cancelled wait abandons the task (the worker still completes it,
+// but the result is discarded).
+func (p *Pool) Submit(ctx context.Context, fn func(ctx context.Context) (any, error)) (wait func() (any, error), err error) {
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.tasks <- t:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	return func() (any, error) {
+		select {
+		case <-t.done:
+			return t.res, t.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}, nil
+}
+
+// Run executes fn on the pool synchronously: it submits and waits.
+func (p *Pool) Run(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
+	wait, err := p.Submit(ctx, fn)
+	if err != nil {
+		return nil, err
+	}
+	return wait()
+}
+
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Busy returns the number of workers currently executing a task.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops accepting tasks and waits for queued and running work to
+// drain, or for ctx to expire — whichever comes first. It returns
+// ctx.Err() if the drain deadline passed with work still in flight.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 4)
+	defer mustClose(t, p)
+	var n atomic.Int64
+	res, err := p.Run(context.Background(), func(context.Context) (any, error) {
+		n.Add(1)
+		return "ok", nil
+	})
+	if err != nil || res != "ok" || n.Load() != 1 {
+		t.Fatalf("res=%v err=%v n=%d", res, err, n.Load())
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer mustClose(t, p)
+	block := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+		close(block)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+	// Queue slot.
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow.
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPoolDropsCanceledQueuedTask(t *testing.T) {
+	p := NewPool(1, 2)
+	defer mustClose(t, p)
+	block := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+		close(block)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+
+	// Enqueue work whose client disconnects before a worker frees up.
+	var ran atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	wait, err := p.Submit(ctx, func(context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Give the worker a chance to (wrongly) run the dropped task.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for p.Busy() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ran.Load() {
+		t.Fatal("canceled task ran anyway")
+	}
+}
+
+func TestPoolWaitRespectsContext(t *testing.T) {
+	p := NewPool(1, 1)
+	defer mustClose(t, p)
+	release := make(chan struct{})
+	defer close(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	wait, err := p.Submit(ctx, func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolCloseDrainsQueuedWork(t *testing.T) {
+	p := NewPool(1, 8)
+	var done atomic.Int64
+	for i := 0; i < 5; i++ {
+		if _, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != 5 {
+		t.Fatalf("done = %d, want 5", done.Load())
+	}
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseDeadline(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+		close(block)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := p.Close(ctx2); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func mustClose(t *testing.T, p *Pool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatalf("pool close: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	symcluster "symcluster"
+)
+
+// Config sizes the service. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds tasks waiting for a worker (default 4×Workers).
+	// When the queue is full, POST /v1/cluster sheds load with 503.
+	QueueDepth int
+	// CacheBytes budgets the symmetrization cache (default 256 MiB).
+	CacheBytes int64
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each synchronous clustering run (default
+	// 60s). Async jobs are not subject to it.
+	RequestTimeout time.Duration
+	// RetainJobs caps retained finished jobs (default 256).
+	RetainJobs int
+	// Logger receives request and lifecycle logs; nil means the
+	// standard logger.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 256
+	}
+	return c
+}
+
+// Server is the symclusterd service: a graph registry, a symmetrization
+// cache, a bounded worker pool and an async job store behind a JSON
+// HTTP API. Construct with New, mount Handler, stop with Drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *Pool
+	cache   *Cache
+	jobs    *JobStore
+	metrics *Metrics
+
+	graphMu  sync.RWMutex
+	graphs   map[string]*registeredGraph
+	draining atomic.Bool
+}
+
+// registeredGraph is one uploaded graph plus the precomputed identity
+// used in cache keys.
+type registeredGraph struct {
+	info        GraphInfo
+	graph       *symcluster.DirectedGraph
+	fingerprint uint64
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:   NewCache(cfg.CacheBytes),
+		jobs:    NewJobStore(cfg.RetainJobs),
+		metrics: NewMetrics(),
+	}
+	s.graphs = make(map[string]*registeredGraph)
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	route := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/graphs", s.handleRegisterGraph)
+	route("GET /v1/graphs/{id}", s.handleGetGraph)
+	route("POST /v1/cluster", s.handleCluster)
+	route("GET /v1/jobs/{id}", s.handleGetJob)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting new work and waits for the queue and running
+// jobs to finish, bounded by ctx. Call after http.Server.Shutdown so
+// no new requests race the drain. It is the SIGTERM half of graceful
+// shutdown; safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Close(ctx)
+}
+
+// Draining reports whether Drain has begun (healthz turns 503 so load
+// balancers stop routing here).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// RegisterGraph adds a graph directly (used by tests and embedders; the
+// HTTP path is POST /v1/graphs). The id is derived from the structural
+// fingerprint, so registering the same graph twice is idempotent.
+func (s *Server) RegisterGraph(g *symcluster.DirectedGraph) GraphInfo {
+	fp := g.Fingerprint()
+	id := fmt.Sprintf("g-%016x", fp)
+	info := GraphInfo{
+		ID:                id,
+		Nodes:             g.N(),
+		Edges:             g.M(),
+		SymmetricFraction: g.SymmetricLinkFraction(),
+	}
+	s.graphMu.Lock()
+	s.graphs[id] = &registeredGraph{info: info, graph: g, fingerprint: fp}
+	s.graphMu.Unlock()
+	return info
+}
+
+// lookupGraph fetches a registered graph by id.
+func (s *Server) lookupGraph(id string) (*registeredGraph, bool) {
+	s.graphMu.RLock()
+	defer s.graphMu.RUnlock()
+	rg, ok := s.graphs[id]
+	return rg, ok
+}
