@@ -1,14 +1,15 @@
 # Pre-merge checks for symcluster. `make check` is the documented
-# gate: formatting, vet, a full build, the short test suite, and the
-# race detector over the concurrent server subsystem. The long
-# statistical experiments (minutes per seed) run only via `make
-# test-long`.
+# gate: formatting, vet, a full build, the short test suite, the race
+# detector over the whole module, and a bounded fuzz pass of the
+# edge-list parser. The long statistical experiments (minutes per
+# seed) run only via `make test-long`.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race test-long
+.PHONY: check fmt vet build test race fuzz test-long
 
-check: fmt vet build test race
+check: fmt vet build test race fuzz
 	@echo "check: ok"
 
 fmt:
@@ -25,7 +26,10 @@ test:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/server/...
+	$(GO) test -race -short ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
 
 test-long:
 	$(GO) test ./...

@@ -8,12 +8,19 @@
 // Usage:
 //
 //	symclusterd [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
-//	            [-max-body-mb MB] [-timeout D] [-drain-timeout D]
-//	            [-preload graph.edges]
+//	            [-max-body-mb MB] [-max-job-mb MB] [-timeout D]
+//	            [-job-ttl D] [-drain-timeout D] [-preload graph.edges]
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes,
 // health checks fail, and in-flight work (including async jobs) drains
 // up to -drain-timeout.
+//
+// -max-job-mb is admission control: requests whose estimated working
+// set exceeds the budget are rejected with 413 before they occupy a
+// worker. -job-ttl expires finished async job results. The
+// SYMCLUSTER_FAULTS environment variable arms deterministic faults at
+// named pipeline sites for chaos drills (see internal/faultinject);
+// never set it in production.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/faultinject"
 	"symcluster/internal/server"
 )
 
@@ -39,18 +47,30 @@ func main() {
 	queue := flag.Int("queue", 0, "task queue depth (default 4x workers)")
 	cacheMB := flag.Int64("cache-mb", 256, "symmetrization cache budget in MiB")
 	maxBodyMB := flag.Int64("max-body-mb", 64, "maximum request body in MiB")
+	maxJobMB := flag.Int64("max-job-mb", 4096, "estimated working-set budget per clustering job in MiB; 0 disables admission control")
 	timeout := flag.Duration("timeout", 60*time.Second, "synchronous request deadline")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results; 0 keeps them until evicted")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	preload := flag.String("preload", "", "edge-list file to register at startup (logs its graph id)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "symclusterd: ", log.LstdFlags)
+
+	if spec := os.Getenv("SYMCLUSTER_FAULTS"); spec != "" {
+		if err := faultinject.FromSpec(spec); err != nil {
+			logger.Fatalf("SYMCLUSTER_FAULTS: %v", err)
+		}
+		logger.Printf("CHAOS: faults armed at %v — do not run production traffic", faultinject.Sites())
+	}
+
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheBytes:     *cacheMB << 20,
 		MaxBodyBytes:   *maxBodyMB << 20,
+		MaxJobBytes:    *maxJobMB << 20,
 		RequestTimeout: *timeout,
+		JobTTL:         *jobTTL,
 		Logger:         logger,
 	})
 

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"symcluster/internal/graph"
+)
+
+// countingCtx cancels after a fixed number of Err polls, pinning
+// cancellation to a deterministic point mid-computation.
+type countingCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSymmetrizeCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := graph.NewDirected(figure1(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{AAT, RandomWalk, Bibliometric, DegreeDiscounted} {
+		if _, err := SymmetrizeCtx(ctx, g, m, Defaults()); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", m, err)
+		}
+	}
+}
+
+func TestBibliometricCtxCancelledMidProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomDirected(rng, 400, 12)
+	ctx := &countingCtx{Context: context.Background(), after: 1}
+	u, err := SymmetrizeBibliometricCtx(ctx, a, Defaults())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if u != nil {
+		t.Fatalf("u = %v, want nil on cancellation", u)
+	}
+}
+
+func TestRandomWalkCtxCancelledMidPowerIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomDirected(rng, 200, 6)
+	ctx := &countingCtx{Context: context.Background(), after: 2}
+	u, err := SymmetrizeRandomWalkCtx(ctx, a, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if u != nil {
+		t.Fatal("partial result returned on cancellation")
+	}
+}

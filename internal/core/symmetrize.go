@@ -21,9 +21,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"symcluster/internal/faultinject"
 	"symcluster/internal/graph"
 	"symcluster/internal/matrix"
 	"symcluster/internal/simjoin"
@@ -132,17 +134,33 @@ func Defaults() Options {
 // Symmetrize applies the selected symmetrization to the directed graph
 // g and returns the resulting undirected graph. Node labels carry over.
 func Symmetrize(g *graph.Directed, method Method, opt Options) (*graph.Undirected, error) {
+	return SymmetrizeCtx(context.Background(), g, method, opt)
+}
+
+// SymmetrizeCtx is Symmetrize with cancellation: ctx is threaded into
+// the sparse products and power iterations underneath, which poll it at
+// iteration and row-block boundaries, so a cancelled context aborts the
+// symmetrization within one block of kernel work with ctx's error.
+func SymmetrizeCtx(ctx context.Context, g *graph.Directed, method Method, opt Options) (*graph.Undirected, error) {
+	// Check once at entry so even methods with no internal poll points
+	// (AAT is a single sparse add) respect an already-cancelled context.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire("core.symmetrize"); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	var u *matrix.CSR
 	var err error
 	switch method {
 	case AAT:
 		u = SymmetrizeAAT(g.Adj)
 	case RandomWalk:
-		u, err = SymmetrizeRandomWalk(g.Adj, opt.Teleport)
+		u, err = SymmetrizeRandomWalkCtx(ctx, g.Adj, opt.Teleport)
 	case Bibliometric:
-		u = SymmetrizeBibliometric(g.Adj, opt)
+		u, err = SymmetrizeBibliometricCtx(ctx, g.Adj, opt)
 	case DegreeDiscounted:
-		u, err = SymmetrizeDegreeDiscounted(g.Adj, opt)
+		u, err = SymmetrizeDegreeDiscountedCtx(ctx, g.Adj, opt)
 	default:
 		return nil, fmt.Errorf("core: unknown symmetrization method %v", method)
 	}
@@ -163,11 +181,17 @@ func SymmetrizeAAT(a *matrix.CSR) *matrix.CSR {
 // probability (0 means walk.DefaultTeleport). U has the same non-zero
 // structure as A + Aᵀ; only the weights differ.
 func SymmetrizeRandomWalk(a *matrix.CSR, teleport float64) (*matrix.CSR, error) {
+	return SymmetrizeRandomWalkCtx(context.Background(), a, teleport)
+}
+
+// SymmetrizeRandomWalkCtx is SymmetrizeRandomWalk with cancellation at
+// power-iteration boundaries of the stationary distribution.
+func SymmetrizeRandomWalkCtx(ctx context.Context, a *matrix.CSR, teleport float64) (*matrix.CSR, error) {
 	if teleport == 0 {
 		teleport = walk.DefaultTeleport
 	}
 	p := walk.TransitionMatrix(a)
-	pi, err := walk.StationaryDistribution(p, walk.Options{Teleport: teleport})
+	pi, err := walk.StationaryDistributionCtx(ctx, p, walk.Options{Teleport: teleport})
 	if err != nil {
 		return nil, fmt.Errorf("core: random-walk symmetrization: %w", err)
 	}
@@ -182,39 +206,60 @@ func SymmetrizeRandomWalk(a *matrix.CSR, teleport float64) (*matrix.CSR, error) 
 // survives if either contribution passes the threshold, matching the
 // paper's integer thresholds on shared-link counts (Table 2).
 func SymmetrizeBibliometric(a *matrix.CSR, opt Options) *matrix.CSR {
+	u, _ := SymmetrizeBibliometricCtx(context.Background(), a, opt)
+	return u
+}
+
+// SymmetrizeBibliometricCtx is SymmetrizeBibliometric with
+// cancellation: the two self-products poll ctx at row-block boundaries
+// and a cancelled context aborts with ctx's error.
+func SymmetrizeBibliometricCtx(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
 	if opt.AddSelfLoops {
 		a = a.AddIdentity()
 	}
 	at := a.Transpose()
-	coupling := selfProduct(a, opt)    // AAᵀ
-	cocitation := selfProduct(at, opt) // AᵀA
+	coupling, err := selfProductCtx(ctx, a, opt) // AAᵀ
+	if err != nil {
+		return nil, err
+	}
+	cocitation, err := selfProductCtx(ctx, at, opt) // AᵀA
+	if err != nil {
+		return nil, err
+	}
 	u := matrix.Add(coupling, cocitation, 1, 1)
 	if opt.DropDiagonal {
 		u = u.DropDiagonal()
 	}
-	return u
+	return u, nil
 }
 
-// selfProduct computes x·xᵀ with the configured pruning backend:
+// selfProductCtx computes x·xᵀ with the configured pruning backend:
 // row-wise SpGEMM (default) or the Bayardo-style all-pairs similarity
 // search when opt.UseAPSS and a positive threshold are set. The APSS
 // backend omits the diagonal, so it is restored here for callers that
-// keep self-similarities.
-func selfProduct(x *matrix.CSR, opt Options) *matrix.CSR {
+// keep self-similarities. The SpGEMM backends poll ctx at row-block
+// boundaries; the APSS backend is checked before and after the join.
+func selfProductCtx(ctx context.Context, x *matrix.CSR, opt Options) (*matrix.CSR, error) {
 	if !opt.UseAPSS || opt.Threshold <= 0 {
 		if opt.Workers > 1 {
-			return matrix.MulAATParallel(x, opt.Threshold, opt.Workers)
+			return matrix.MulAATParallelCtx(ctx, x, opt.Threshold, opt.Workers)
 		}
-		return matrix.MulAAT(x, opt.Threshold)
+		return matrix.MulAATCtx(ctx, x, opt.Threshold)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	p, err := simjoin.SelfJoin(x, opt.Threshold)
 	if err != nil {
 		// Negative weights or a zero threshold: fall back to SpGEMM,
 		// which handles both.
-		return matrix.MulAAT(x, opt.Threshold)
+		return matrix.MulAATCtx(ctx, x, opt.Threshold)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if opt.DropDiagonal {
-		return p
+		return p, nil
 	}
 	diag := make([]float64, x.Rows)
 	for i := 0; i < x.Rows; i++ {
@@ -226,7 +271,7 @@ func selfProduct(x *matrix.CSR, opt Options) *matrix.CSR {
 			diag[i] = 0
 		}
 	}
-	return matrix.Add(p, matrix.Diagonal(diag), 1, 1)
+	return matrix.Add(p, matrix.Diagonal(diag), 1, 1), nil
 }
 
 // SymmetrizeDegreeDiscounted returns the degree-discounted similarity
@@ -243,6 +288,12 @@ func selfProduct(x *matrix.CSR, opt Options) *matrix.CSR {
 // augmentation); zero-degree factors are treated as 1 so isolated
 // directions contribute nothing rather than dividing by zero.
 func SymmetrizeDegreeDiscounted(a *matrix.CSR, opt Options) (*matrix.CSR, error) {
+	return SymmetrizeDegreeDiscountedCtx(context.Background(), a, opt)
+}
+
+// SymmetrizeDegreeDiscountedCtx is SymmetrizeDegreeDiscounted with
+// cancellation at row-block boundaries of the two scaled self-products.
+func SymmetrizeDegreeDiscountedCtx(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
 	if opt.Alpha < 0 || opt.Beta < 0 {
 		return nil, fmt.Errorf("core: negative discount exponents α=%v β=%v", opt.Alpha, opt.Beta)
 	}
@@ -261,10 +312,16 @@ func SymmetrizeDegreeDiscounted(a *matrix.CSR, opt Options) (*matrix.CSR, error)
 	betaHalf := discountVector(inDeg, opt.BetaKind, opt.Beta, 0.5)
 
 	x := a.ScaleRows(alphaFull).ScaleCols(betaHalf) // D_o^{-α} A D_i^{-β/2}
-	bd := selfProduct(x, opt)
+	bd, err := selfProductCtx(ctx, x, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	y := a.Transpose().ScaleRows(betaFull).ScaleCols(alphaHalf) // D_i^{-β} Aᵀ D_o^{-α/2}
-	cd := selfProduct(y, opt)
+	cd, err := selfProductCtx(ctx, y, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	u := matrix.Add(bd, cd, 1, 1)
 	if opt.DropDiagonal {

@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true with nothing set")
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	defer Reset()
+	Set("a", Fault{Mode: Error})
+	if err := Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	Set("a", Fault{Mode: Error, Err: custom})
+	if err := Fire("a"); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom", err)
+	}
+	// Other sites stay clean while one is armed.
+	if err := Fire("b"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Reset()
+	Set("p", Fault{Mode: Panic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_ = Fire("p")
+}
+
+func TestDelayFault(t *testing.T) {
+	defer Reset()
+	Set("d", Fault{Mode: Delay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("d"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+}
+
+func TestSkipAndTimes(t *testing.T) {
+	defer Reset()
+	Set("s", Fault{Mode: Error, Skip: 2, Times: 2})
+	var fired int
+	for i := 0; i < 6; i++ {
+		if Fire("s") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (skip 2, times 2)", fired)
+	}
+	if Hits("s") != 6 {
+		t.Fatalf("hits = %d, want 6", Hits("s"))
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	Set("x", Fault{Mode: Error})
+	Set("y", Fault{Mode: Error})
+	Clear("x")
+	if err := Fire("x"); err != nil {
+		t.Fatalf("cleared site fired: %v", err)
+	}
+	if err := Fire("y"); err == nil {
+		t.Fatal("remaining site did not fire")
+	}
+	Reset()
+	if Armed() {
+		t.Fatal("armed after Reset")
+	}
+}
+
+func TestFromSpec(t *testing.T) {
+	defer Reset()
+	err := FromSpec("mcl.iterate=panic; cache.get=delay:5ms, pool.task=error@1+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Sites()
+	sort.Strings(got)
+	want := []string{"cache.get", "mcl.iterate", "pool.task"}
+	if len(got) != len(want) {
+		t.Fatalf("sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sites = %v, want %v", got, want)
+		}
+	}
+	// pool.task skips the first hit, then errors twice.
+	if Fire("pool.task") != nil {
+		t.Fatal("skip ignored")
+	}
+	if Fire("pool.task") == nil || Fire("pool.task") == nil {
+		t.Fatal("times window did not fire")
+	}
+	if Fire("pool.task") != nil {
+		t.Fatal("fired past times bound")
+	}
+}
+
+func TestFromSpecRejectsMalformed(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"noequals",
+		"a=explode",
+		"a=delay",     // missing duration
+		"a=delay:xx",  // bad duration
+		"a=error:arg", // stray argument
+		"a=panic@-1",  // negative skip
+		"a=error@1+0", // zero times
+		"=error",      // empty site
+	} {
+		if err := FromSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+		Reset()
+	}
+}

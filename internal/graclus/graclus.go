@@ -19,6 +19,7 @@
 package graclus
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -60,6 +61,14 @@ type Result struct {
 // Cluster partitions the symmetric weighted adjacency adj into k
 // clusters minimising normalised cut.
 func Cluster(adj *matrix.CSR, k int, opt Options) (*Result, error) {
+	return ClusterCtx(context.Background(), adj, k, opt)
+}
+
+// ClusterCtx is Cluster with cancellation: ctx is polled before each
+// coarsening level, each refinement level and each kernel-k-means pass,
+// so a cancelled context aborts the clustering within one pass with
+// ctx's error.
+func ClusterCtx(ctx context.Context, adj *matrix.CSR, k int, opt Options) (*Result, error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("graclus: adjacency %dx%d not square", adj.Rows, adj.Cols)
 	}
@@ -83,17 +92,23 @@ func Cluster(adj *matrix.CSR, k int, opt Options) (*Result, error) {
 	if 4*k > minNodes {
 		minNodes = 4 * k
 	}
-	h, err := multilevel.Coarsen(adj, multilevel.Options{MinNodes: minNodes, Seed: rng.Int63()})
+	h, err := multilevel.CoarsenCtx(ctx, adj, multilevel.Options{MinNodes: minNodes, Seed: rng.Int63()})
 	if err != nil {
 		return nil, fmt.Errorf("graclus: coarsening: %w", err)
 	}
 
 	coarse := h.Coarsest()
 	assign := baseClustering(coarse.Adj, k, rng)
-	assign = refine(coarse.Adj, assign, k, opt.RefinePasses)
+	assign = refine(ctx, coarse.Adj, assign, k, opt.RefinePasses)
 	for level := h.Depth() - 1; level >= 1; level-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		assign = h.Project(level, assign)
-		assign = refine(h.Levels[level-1].Adj, assign, k, opt.RefinePasses)
+		assign = refine(ctx, h.Levels[level-1].Adj, assign, k, opt.RefinePasses)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &Result{Assign: assign, K: k, NCut: NCut(adj, assign, k)}, nil
 }
@@ -181,8 +196,9 @@ func baseClustering(adj *matrix.CSR, k int, rng *rand.Rand) []int {
 // node adjacent to another cluster, evaluate the exact NCut delta of
 // moving it to each neighbouring cluster and apply the best improving
 // move. Passes repeat until no move improves or the pass budget is
-// exhausted.
-func refine(adj *matrix.CSR, assign []int, k, maxPasses int) []int {
+// exhausted. ctx is polled once per pass; a cancelled context stops
+// refining early (the caller surfaces the cancellation).
+func refine(ctx context.Context, adj *matrix.CSR, assign []int, k, maxPasses int) []int {
 	n := adj.Rows
 	deg := adj.RowSums()
 
@@ -204,6 +220,9 @@ func refine(adj *matrix.CSR, assign []int, k, maxPasses int) []int {
 	linkTo := make([]float64, k)
 	var touched []int
 	for pass := 0; pass < maxPasses; pass++ {
+		if ctx.Err() != nil {
+			break
+		}
 		moved := 0
 		for i := 0; i < n; i++ {
 			a := assign[i]

@@ -18,6 +18,11 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("not a graph")
 	f.Add("1 2 -3\n")
 	f.Add("999999 0\n")
+	f.Add("0 1 NaN\n")
+	f.Add("0 1 +Inf\n")
+	f.Add("0 1 -Inf\n")
+	f.Add("0 1 1e400\n")
+	f.Add("0 1 0\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		if len(input) > 1<<16 {
 			t.Skip()

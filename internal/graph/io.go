@@ -2,14 +2,35 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 
 	"symcluster/internal/matrix"
 )
+
+// ErrInputTooLarge marks inputs rejected for size rather than syntax —
+// a single line longer than the scanner buffer allows. HTTP handlers
+// map it to 413 Request Entity Too Large instead of 400.
+var ErrInputTooLarge = errors.New("graph: input too large")
+
+// maxLineBytes bounds one edge-list line. Any legitimate
+// "src dst weight" record fits in well under a hundred bytes; a longer
+// line is either corruption or an attempt to exhaust memory.
+const maxLineBytes = 16 * 1024 * 1024
+
+// scanErr converts a scanner failure into a caller-facing error,
+// surfacing oversized lines as ErrInputTooLarge.
+func scanErr(what string, err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%w: %s line exceeds %d bytes", ErrInputTooLarge, what, maxLineBytes)
+	}
+	return fmt.Errorf("graph: reading %s: %w", what, err)
+}
 
 // The edge-list text format, one record per line:
 //
@@ -39,7 +60,10 @@ func WriteEdgeList(w io.Writer, g *Directed) error {
 
 // ReadEdgeList parses an edge-list stream into a directed graph. The
 // node count is one greater than the largest id seen; duplicate edges
-// have their weights summed.
+// have their weights summed. Malformed records — non-integer or
+// negative ids, weights that are NaN, infinite or negative — are
+// rejected with the offending line number; lines longer than the
+// scanner buffer are rejected with ErrInputTooLarge.
 func ReadEdgeList(r io.Reader) (*Directed, error) {
 	type triplet struct {
 		u, v int
@@ -48,7 +72,7 @@ func ReadEdgeList(r io.Reader) (*Directed, error) {
 	var edges []triplet
 	maxID := -1
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -74,6 +98,13 @@ func ReadEdgeList(r io.Reader) (*Directed, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
 			}
+			// NaN poisons every downstream kernel silently, infinities
+			// overflow the products, and the similarity semantics of the
+			// symmetrizations assume non-negative weights — reject all
+			// three here, with the line, rather than deep in a kernel.
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("graph: line %d: weight %q must be a finite non-negative number", lineNo, fields[2])
+			}
 		}
 		if u > maxID {
 			maxID = u
@@ -84,7 +115,7 @@ func ReadEdgeList(r io.Reader) (*Directed, error) {
 		edges = append(edges, triplet{u, v, w})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		return nil, scanErr("edge list", err)
 	}
 	// Guard against absurdly sparse id spaces: a single stray id like
 	// 999999999 would otherwise allocate gigabytes of row pointers.
@@ -121,7 +152,7 @@ func ReadLabels(r io.Reader) ([]string, error) {
 		labels = append(labels, sc.Text())
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading labels: %w", err)
+		return nil, scanErr("labels", err)
 	}
 	return labels, nil
 }
@@ -168,7 +199,7 @@ func ReadGroundTruth(r io.Reader) ([][]int, error) {
 		out = append(out, cats)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading ground truth: %w", err)
+		return nil, scanErr("ground truth", err)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -59,11 +60,52 @@ func TestReadEdgeListErrors(t *testing.T) {
 		"0 b\n",        // bad destination
 		"-1 0\n",       // negative id
 		"0 1 weight\n", // bad weight
+		"0 1 NaN\n",    // NaN weight
+		"0 1 nan\n",    // NaN weight, lower case
+		"0 1 Inf\n",    // infinite weight
+		"0 1 +Inf\n",   // infinite weight, explicit sign
+		"0 1 -Inf\n",   // negative infinity
+		"0 1 1e400\n",  // overflows to +Inf
+		"0 1 -2.5\n",   // negative weight
 	}
 	for _, in := range cases {
 		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
 			t.Fatalf("accepted malformed input %q", in)
 		}
+	}
+}
+
+func TestReadEdgeListErrorNamesLine(t *testing.T) {
+	_, err := ReadEdgeList(strings.NewReader("0 1\n# c\n2 3 NaN\n"))
+	if err == nil {
+		t.Fatal("accepted NaN weight")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}
+
+func TestReadEdgeListZeroWeightAllowed(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 0\n1 0 0.0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestReadEdgeListOversizedLine(t *testing.T) {
+	// A comment line longer than the scanner buffer must surface as
+	// ErrInputTooLarge, not a generic parse failure, so servers can
+	// answer 413 instead of 400.
+	long := "# " + strings.Repeat("x", maxLineBytes+1)
+	_, err := ReadEdgeList(strings.NewReader(long))
+	if err == nil {
+		t.Fatal("accepted oversized line")
+	}
+	if !errors.Is(err, ErrInputTooLarge) {
+		t.Fatalf("error %v is not ErrInputTooLarge", err)
 	}
 }
 

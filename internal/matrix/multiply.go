@@ -1,10 +1,25 @@
 package matrix
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ctxCheckRows is the row stride at which the cancellable kernels poll
+// ctx.Err(). One check per 512 rows keeps the overhead unmeasurable
+// while bounding post-cancellation work to a small row block.
+const ctxCheckRows = 512
+
+// rowCancelled reports ctx's error at row-block boundaries: it polls
+// ctx.Err() only when row is a multiple of ctxCheckRows.
+func rowCancelled(ctx context.Context, row int) error {
+	if row%ctxCheckRows != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Add returns alpha·a + beta·b. The operands must have identical
 // dimensions. Entries that cancel to exactly zero are dropped.
@@ -112,8 +127,16 @@ func Mul(a, b *CSR) *CSR {
 // the flow matrix only ever keeps its heaviest entries: selecting
 // during the product avoids materialising and sorting the long tail.
 func MulPrunedTopK(a, b *CSR, threshold float64, topK int) *CSR {
+	out, _ := MulPrunedTopKCtx(context.Background(), a, b, threshold, topK)
+	return out
+}
+
+// MulPrunedTopKCtx is MulPrunedTopK with cancellation: ctx is polled
+// every ctxCheckRows output rows, and a cancelled context abandons the
+// product and returns ctx's error.
+func MulPrunedTopKCtx(ctx context.Context, a, b *CSR, threshold float64, topK int) (*CSR, error) {
 	if topK <= 0 {
-		return MulPruned(a, b, threshold)
+		return MulPrunedCtx(ctx, a, b, threshold)
 	}
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -122,6 +145,9 @@ func MulPrunedTopK(a, b *CSR, threshold float64, topK int) *CSR {
 	spa := newAccumulator(b.Cols)
 	var kept []int32
 	for i := 0; i < a.Rows; i++ {
+		if err := rowCancelled(ctx, i); err != nil {
+			return nil, err
+		}
 		ac, av := a.Row(i)
 		for k, c := range ac {
 			bcols, bvals := b.Row(int(c))
@@ -158,7 +184,7 @@ func MulPrunedTopK(a, b *CSR, threshold float64, topK int) *CSR {
 			spa.gen = 1
 		}
 	}
-	return out
+	return out, nil
 }
 
 // quickselectTopK partially orders cols so that the k entries with the
@@ -210,12 +236,25 @@ func quickselectTopK(cols []int32, acc []float64, k int) {
 // self-products used by symmetrization the flop count is Σ_k d_k² as
 // analysed in the paper's §3.6.
 func MulPruned(a, b *CSR, threshold float64) *CSR {
+	out, _ := MulPrunedCtx(context.Background(), a, b, threshold)
+	return out
+}
+
+// MulPrunedCtx is MulPruned with cancellation: ctx is polled every
+// ctxCheckRows output rows, and a cancelled context abandons the
+// product and returns ctx's error. This is what makes the expensive
+// symmetrization products abort promptly on client disconnects and
+// request deadlines.
+func MulPrunedCtx(ctx context.Context, a, b *CSR, threshold float64) (*CSR, error) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
 	spa := newAccumulator(b.Cols)
 	for i := 0; i < a.Rows; i++ {
+		if err := rowCancelled(ctx, i); err != nil {
+			return nil, err
+		}
 		ac, av := a.Row(i)
 		for k, c := range ac {
 			bcols, bvals := b.Row(int(c))
@@ -227,7 +266,7 @@ func MulPruned(a, b *CSR, threshold float64) *CSR {
 		spa.flush(out, threshold)
 		out.RowPtr[i+1] = int64(len(out.ColIdx))
 	}
-	return out
+	return out, nil
 }
 
 // MulAAT returns x·xᵀ with pruning, without materialising xᵀ separately
@@ -240,6 +279,11 @@ func MulPruned(a, b *CSR, threshold float64) *CSR {
 // B_d = (D_o^{-α} A D_i^{-β/2})(D_o^{-α} A D_i^{-β/2})ᵀ.
 func MulAAT(x *CSR, threshold float64) *CSR {
 	return MulPruned(x, x.Transpose(), threshold)
+}
+
+// MulAATCtx is MulAAT with cancellation at row-block boundaries.
+func MulAATCtx(ctx context.Context, x *CSR, threshold float64) (*CSR, error) {
+	return MulPrunedCtx(ctx, x, x.Transpose(), threshold)
 }
 
 // Pow returns mᵏ for square m and k ≥ 1 by repeated multiplication,

@@ -1,8 +1,10 @@
 package matrix
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // MulPrunedParallel computes a·b with pruning like MulPruned, using up
@@ -14,15 +16,24 @@ import (
 // this kernel is for production use of the library, where the
 // symmetrization products dominate end-to-end time on large graphs.
 func MulPrunedParallel(a, b *CSR, threshold float64, workers int) *CSR {
+	out, _ := MulPrunedParallelCtx(context.Background(), a, b, threshold, workers)
+	return out
+}
+
+// MulPrunedParallelCtx is MulPrunedParallel with cancellation: every
+// worker polls ctx at row-block boundaries, so a cancelled context
+// stops all blocks within ctxCheckRows rows and the call returns ctx's
+// error.
+func MulPrunedParallelCtx(ctx context.Context, a, b *CSR, threshold float64, workers int) (*CSR, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || a.Rows < 2*workers {
-		return MulPruned(a, b, threshold)
+		return MulPrunedCtx(ctx, a, b, threshold)
 	}
 	if a.Cols != b.Rows {
 		// Delegate the panic message to the sequential kernel.
-		return MulPruned(a, b, threshold)
+		return MulPrunedCtx(ctx, a, b, threshold)
 	}
 
 	type block struct {
@@ -43,6 +54,9 @@ func MulPrunedParallel(a, b *CSR, threshold float64, workers int) *CSR {
 		blocks[w] = block{lo: lo, hi: hi}
 	}
 
+	// First cancellation observed by any worker; the other workers see
+	// the flag at their next block boundary and abandon their block.
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := range blocks {
 		wg.Add(1)
@@ -51,6 +65,12 @@ func MulPrunedParallel(a, b *CSR, threshold float64, workers int) *CSR {
 			out := &CSR{Rows: blk.hi - blk.lo, Cols: b.Cols, RowPtr: make([]int64, blk.hi-blk.lo+1)}
 			spa := newAccumulator(b.Cols)
 			for i := blk.lo; i < blk.hi; i++ {
+				if (i-blk.lo)%ctxCheckRows == 0 {
+					if cancelled.Load() || ctx.Err() != nil {
+						cancelled.Store(true)
+						return
+					}
+				}
 				ac, av := a.Row(i)
 				for k, c := range ac {
 					bcols, bvals := b.Row(int(c))
@@ -66,6 +86,12 @@ func MulPrunedParallel(a, b *CSR, threshold float64, workers int) *CSR {
 		}(&blocks[w])
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
 
 	// Stitch the blocks.
 	total := 0
@@ -89,10 +115,15 @@ func MulPrunedParallel(a, b *CSR, threshold float64, workers int) *CSR {
 			out.RowPtr[row] = int64(len(out.ColIdx))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // MulAATParallel is MulAAT with the parallel kernel.
 func MulAATParallel(x *CSR, threshold float64, workers int) *CSR {
 	return MulPrunedParallel(x, x.Transpose(), threshold, workers)
+}
+
+// MulAATParallelCtx is MulAATParallel with cancellation.
+func MulAATParallelCtx(ctx context.Context, x *CSR, threshold float64, workers int) (*CSR, error) {
+	return MulPrunedParallelCtx(ctx, x, x.Transpose(), threshold, workers)
 }

@@ -1,0 +1,55 @@
+package mcl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// countingCtx reports cancellation after its Err method has been
+// polled a fixed number of times. It cancels deterministically in the
+// middle of a computation — no timers, no races — so tests can pin
+// down exactly that kernels poll their context and stop.
+type countingCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestClusterCtxCancelledMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	adj, _ := blockGraph(rng, 4, 25, 0.4, 0.01)
+	ctx := &countingCtx{Context: context.Background(), after: 2}
+	res, err := ClusterCtx(ctx, adj, Options{Inflation: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %v, want nil on cancellation", res)
+	}
+	// The kernel must have stopped at the poll that observed the
+	// cancellation, not ground on: allow the handful of boundary checks
+	// between the observing poll and the return, nothing iteration-sized.
+	if polls := ctx.polls.Load(); polls > ctx.after+16 {
+		t.Fatalf("kernel kept polling %d times after cancellation", polls-ctx.after)
+	}
+}
+
+func TestClusterCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(2))
+	adj, _ := blockGraph(rng, 2, 10, 0.5, 0.05)
+	if _, err := ClusterCtx(ctx, adj, Options{Inflation: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -19,10 +19,12 @@
 package mcl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 	"symcluster/internal/multilevel"
 )
@@ -108,6 +110,14 @@ type Result struct {
 // Cluster runs R-MCL (or MLR-MCL when opt.Multilevel) on the symmetric
 // adjacency matrix adj and returns the clustering.
 func Cluster(adj *matrix.CSR, opt Options) (*Result, error) {
+	return ClusterCtx(context.Background(), adj, opt)
+}
+
+// ClusterCtx is Cluster with cancellation: ctx is polled at every R-MCL
+// iteration (and at row-block boundaries inside the expansion product),
+// so a cancelled context aborts the clustering within one iteration
+// with ctx's error.
+func ClusterCtx(ctx context.Context, adj *matrix.CSR, opt Options) (*Result, error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("mcl: adjacency %dx%d not square", adj.Rows, adj.Cols)
 	}
@@ -122,12 +132,15 @@ func Cluster(adj *matrix.CSR, opt Options) (*Result, error) {
 	if !opt.Multilevel || adj.Rows <= opt.CoarsenTo {
 		mgt := regularizer(adj, opt.SelfLoopWeight)
 		flow := initialFlow(mgt, opt)
-		iters := iterate(&flow, mgt, opt, opt.MaxIter)
+		iters, err := iterate(ctx, &flow, mgt, opt, opt.MaxIter)
+		if err != nil {
+			return nil, err
+		}
 		assign, k := extractClusters(flow)
 		return &Result{Assign: assign, K: k, Iterations: iters}, nil
 	}
 
-	h, err := multilevel.Coarsen(adj, multilevel.Options{MinNodes: opt.CoarsenTo, Seed: opt.Seed})
+	h, err := multilevel.CoarsenCtx(ctx, adj, multilevel.Options{MinNodes: opt.CoarsenTo, Seed: opt.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("mcl: coarsening: %w", err)
 	}
@@ -135,7 +148,9 @@ func Cluster(adj *matrix.CSR, opt Options) (*Result, error) {
 	coarse := h.Coarsest()
 	mgt := regularizer(coarse.Adj, opt.SelfLoopWeight)
 	flow := initialFlow(mgt, opt)
-	iterate(&flow, mgt, opt, opt.MaxIter)
+	if _, err := iterate(ctx, &flow, mgt, opt, opt.MaxIter); err != nil {
+		return nil, err
+	}
 
 	// Walk back up, projecting the flow and refining.
 	for level := h.Depth() - 1; level >= 1; level-- {
@@ -146,7 +161,10 @@ func Cluster(adj *matrix.CSR, opt Options) (*Result, error) {
 		if level == 1 {
 			n = opt.MaxIter
 		}
-		iters := iterate(&flow, mgt, opt, n)
+		iters, err := iterate(ctx, &flow, mgt, opt, n)
+		if err != nil {
+			return nil, err
+		}
 		if level == 1 {
 			assign, k := extractClusters(flow)
 			return &Result{Assign: assign, K: k, Iterations: iters}, nil
@@ -199,9 +217,16 @@ func regularizer(adj *matrix.CSR, selfLoop float64) *matrix.CSR {
 // number performed. flow and mgt are in transposed (column-as-row)
 // form: the update is F := RowInflate(M_Gᵀ · F, r) with per-row
 // pruning, which corresponds to M := Inflate(M·M_G, r) with per-column
-// pruning.
-func iterate(flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int) int {
+// pruning. ctx is polled at every iteration boundary (and inside the
+// expansion product), so cancellation aborts within one iteration.
+func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int) (int, error) {
 	for it := 0; it < maxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return it, err
+		}
+		if err := faultinject.Fire("mcl.iterate"); err != nil {
+			return it, fmt.Errorf("mcl: %w", err)
+		}
 		right := mgt
 		if opt.Plain {
 			right = *flow // plain MCL squares the flow matrix
@@ -211,17 +236,20 @@ func iterate(flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int) int {
 		// product; selecting them during the product avoids ever
 		// materialising (or sorting) the long tail on dense
 		// regularizers.
-		next := matrix.MulPrunedTopK(*flow, right, 0, opt.MaxPerColumn)
+		next, err := matrix.MulPrunedTopKCtx(ctx, *flow, right, 0, opt.MaxPerColumn)
+		if err != nil {
+			return it, err
+		}
 		inflateRows(next, opt.Inflation)
 		next = prunePerRow(next, opt.PruneThreshold, opt.MaxPerColumn)
 		normalizeRowsInPlace(next)
 		delta := flowChange(*flow, next)
 		*flow = next
 		if delta < opt.ConvergenceTol {
-			return it + 1
+			return it + 1, nil
 		}
 	}
-	return maxIter
+	return maxIter, nil
 }
 
 // inflateRows raises entries to the power r and renormalises each row.

@@ -1,14 +1,20 @@
 package metis
 
-import "symcluster/internal/matrix"
+import (
+	"context"
+
+	"symcluster/internal/matrix"
+)
 
 // kwayRefine runs greedy k-way boundary refinement after recursive
 // bisection: each pass visits every node adjacent to another part and
 // applies the edge-cut-reducing move with the best gain, subject to the
 // balance constraint. Recursive bisection optimises each cut in
 // isolation; this direct k-way pass fixes the seams between sibling
-// parts.
-func kwayRefine(adj *matrix.CSR, assign []int, k int, maxWeight float64, passes int) []int {
+// parts. ctx is polled once per pass; a cancelled context stops
+// refining and returns the assignment as improved so far (the caller
+// surfaces the cancellation).
+func kwayRefine(ctx context.Context, adj *matrix.CSR, assign []int, k int, maxWeight float64, passes int) []int {
 	n := adj.Rows
 	partWeight := make([]float64, k)
 	for _, p := range assign {
@@ -18,6 +24,9 @@ func kwayRefine(adj *matrix.CSR, assign []int, k int, maxWeight float64, passes 
 	linkTo := make([]float64, k)
 	var touched []int
 	for pass := 0; pass < passes; pass++ {
+		if ctx.Err() != nil {
+			break
+		}
 		moved := 0
 		for i := 0; i < n; i++ {
 			a := assign[i]

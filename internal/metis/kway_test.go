@@ -1,6 +1,7 @@
 package metis
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestKWayRefineImprovesCut(t *testing.T) {
 		assign[i] = (assign[i] + 1) % 4
 	}
 	before := EdgeCut(adj, assign)
-	refined := kwayRefine(adj, append([]int(nil), assign...), 4, 40, 8)
+	refined := kwayRefine(context.Background(), adj, append([]int(nil), assign...), 4, 40, 8)
 	after := EdgeCut(adj, refined)
 	if after >= before {
 		t.Fatalf("k-way refinement did not improve cut: %v -> %v", before, after)
@@ -29,7 +30,7 @@ func TestKWayRefineRespectsBalance(t *testing.T) {
 	for i := range assign {
 		assign[i] = i % 4
 	}
-	refined := kwayRefine(adj, assign, 4, 30, 8)
+	refined := kwayRefine(context.Background(), adj, assign, 4, 30, 8)
 	counts := make([]int, 4)
 	for _, p := range refined {
 		counts[p]++
@@ -48,7 +49,7 @@ func TestKWayRefineNeverEmptiesPart(t *testing.T) {
 	adj, _ := blockGraph(rng, 2, 20, 0.5, 0.1)
 	assign := make([]int, 40)
 	assign[0] = 1 // singleton part 1
-	refined := kwayRefine(adj, assign, 2, 45, 10)
+	refined := kwayRefine(context.Background(), adj, assign, 2, 45, 10)
 	count1 := 0
 	for _, p := range refined {
 		if p == 1 {

@@ -12,6 +12,7 @@ package metis
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -64,6 +65,14 @@ type Result struct {
 
 // Partition splits the symmetric weighted adjacency adj into k parts.
 func Partition(adj *matrix.CSR, k int, opt Options) (*Result, error) {
+	return PartitionCtx(context.Background(), adj, k, opt)
+}
+
+// PartitionCtx is Partition with cancellation: ctx is polled at the
+// entry of every recursive bisection, before each coarsening level and
+// before each k-way refinement pass, so a cancelled context aborts the
+// partitioning within one bisection stage with ctx's error.
+func PartitionCtx(ctx context.Context, adj *matrix.CSR, k int, opt Options) (*Result, error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("metis: adjacency %dx%d not square", adj.Rows, adj.Cols)
 	}
@@ -87,11 +96,16 @@ func Partition(adj *matrix.CSR, k int, opt Options) (*Result, error) {
 		for i := range weights {
 			weights[i] = 1
 		}
-		recurse(adj, nodes, weights, k, 0, assign, opt, rng)
+		if err := recurse(ctx, adj, nodes, weights, k, 0, assign, opt, rng); err != nil {
+			return nil, err
+		}
 		// Direct k-way boundary refinement across the seams the
 		// recursive bisection optimised in isolation.
 		maxPart := float64(n) / float64(k) * (1 + opt.Imbalance)
-		assign = kwayRefine(adj, assign, k, maxPart, opt.RefinePasses)
+		assign = kwayRefine(ctx, adj, assign, k, maxPart, opt.RefinePasses)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return &Result{Assign: assign, K: k, EdgeCut: EdgeCut(adj, assign)}, nil
 }
@@ -114,19 +128,25 @@ func EdgeCut(adj *matrix.CSR, assign []int) float64 {
 // recurse bisects the subgraph induced by nodes into parts of size
 // proportional to ceil(k/2) : floor(k/2), labels the halves starting at
 // base and base+ceil(k/2), and recurses until k = 1.
-func recurse(full *matrix.CSR, nodes []int32, weights []float64, k, base int, assign []int, opt Options, rng *rand.Rand) {
+func recurse(ctx context.Context, full *matrix.CSR, nodes []int32, weights []float64, k, base int, assign []int, opt Options, rng *rand.Rand) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if k == 1 {
 		for _, v := range nodes {
 			assign[v] = base
 		}
-		return
+		return nil
 	}
 	k1 := (k + 1) / 2
 	k2 := k - k1
 	frac := float64(k1) / float64(k)
 
 	sub, subWeights := induce(full, nodes, weights)
-	side := bisect(sub, subWeights, frac, opt, rng)
+	side, err := bisect(ctx, sub, subWeights, frac, opt, rng)
+	if err != nil {
+		return err
+	}
 
 	var left, right []int32
 	var lw, rw []float64
@@ -156,8 +176,10 @@ func recurse(full *matrix.CSR, nodes []int32, weights []float64, k, base int, as
 		left = left[:last]
 		lw = lw[:last]
 	}
-	recurse(full, left, lw, k1, base, assign, opt, rng)
-	recurse(full, right, rw, k2, base+k1, assign, opt, rng)
+	if err := recurse(ctx, full, left, lw, k1, base, assign, opt, rng); err != nil {
+		return err
+	}
+	return recurse(ctx, full, right, rw, k2, base+k1, assign, opt, rng)
 }
 
 // induce extracts the subgraph of full induced by nodes, along with the
@@ -182,19 +204,19 @@ func induce(full *matrix.CSR, nodes []int32, weights []float64) (*matrix.CSR, []
 
 // bisect splits adj (with node weights) into sides 0/1, targeting
 // fraction frac of the weight on side 0, by multilevel FM.
-func bisect(adj *matrix.CSR, nodeWeight []float64, frac float64, opt Options, rng *rand.Rand) []int {
+func bisect(ctx context.Context, adj *matrix.CSR, nodeWeight []float64, frac float64, opt Options, rng *rand.Rand) ([]int, error) {
 	n := adj.Rows
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	if n == 1 {
-		return []int{0}
+		return []int{0}, nil
 	}
-	h, err := multilevel.Coarsen(adj, multilevel.Options{MinNodes: opt.CoarsenTo, Seed: rng.Int63()})
+	h, err := multilevel.CoarsenCtx(ctx, adj, multilevel.Options{MinNodes: opt.CoarsenTo, Seed: rng.Int63()})
 	if err != nil {
-		// Coarsen only fails on non-square inputs, which bisect never
-		// constructs; fall back to a trivial split to stay total.
-		return trivialSplit(nodeWeight, frac)
+		// Cancellation or an injected fault; the only other failure mode
+		// is a non-square input, which bisect never constructs.
+		return nil, fmt.Errorf("metis: coarsening: %w", err)
 	}
 	// Aggregate true node weights through the hierarchy: the finest
 	// level's weights are the caller's, not all-ones.
@@ -213,28 +235,13 @@ func bisect(adj *matrix.CSR, nodeWeight []float64, frac float64, opt Options, rn
 	side := initialBisection(coarse.Adj, levelWeights[h.Depth()-1], frac, opt, rng)
 	side = fmRefine(coarse.Adj, levelWeights[h.Depth()-1], side, frac, opt)
 	for l := h.Depth() - 1; l >= 1; l-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		side = h.Project(l, side)
 		side = fmRefine(h.Levels[l-1].Adj, levelWeights[l-1], side, frac, opt)
 	}
-	return side
-}
-
-func trivialSplit(nodeWeight []float64, frac float64) []int {
-	var total float64
-	for _, w := range nodeWeight {
-		total += w
-	}
-	side := make([]int, len(nodeWeight))
-	var acc float64
-	for i, w := range nodeWeight {
-		if acc < frac*total {
-			side[i] = 0
-		} else {
-			side[i] = 1
-		}
-		acc += w
-	}
-	return side
+	return side, nil
 }
 
 // initialBisection runs greedy graph growing InitTrials times and keeps

@@ -6,9 +6,11 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 )
 
@@ -68,6 +70,13 @@ func (o *Options) fill() {
 // contraction (internal edge weight accumulates on the diagonal), which
 // the kernel-k-means refinement in Graclus relies on.
 func Coarsen(adj *matrix.CSR, opt Options) (*Hierarchy, error) {
+	return CoarsenCtx(context.Background(), adj, opt)
+}
+
+// CoarsenCtx is Coarsen with cancellation: ctx is polled before each
+// level is built, so a cancelled context aborts the hierarchy within
+// one matching-and-contraction round with ctx's error.
+func CoarsenCtx(ctx context.Context, adj *matrix.CSR, opt Options) (*Hierarchy, error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("multilevel: adjacency %dx%d not square", adj.Rows, adj.Cols)
 	}
@@ -77,6 +86,12 @@ func Coarsen(adj *matrix.CSR, opt Options) (*Hierarchy, error) {
 	finest := &Level{Adj: adj, NodeWeight: ones(adj.Rows)}
 	h := &Hierarchy{Levels: []*Level{finest}}
 	for h.Depth() < opt.MaxLevels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Fire("multilevel.level"); err != nil {
+			return nil, fmt.Errorf("multilevel: %w", err)
+		}
 		cur := h.Coarsest()
 		if cur.Adj.Rows <= opt.MinNodes {
 			break

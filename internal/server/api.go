@@ -11,9 +11,11 @@
 //   - api.go        — JSON wire types, shared with cmd/symcluster -json
 //   - server.go     — Server wiring, routing and lifecycle
 //   - handlers.go   — the /v1 endpoint handlers
+//   - admission.go  — working-set estimation and the job byte budget
 //   - cache.go      — byte-budgeted LRU of symmetrized graphs
-//   - pool.go       — bounded worker pool with context cancellation
-//   - jobs.go       — async job store
+//   - pool.go       — bounded worker pool with cancellation and panic
+//     isolation
+//   - jobs.go       — async job store with TTL expiry
 //   - metrics.go    — counters and text exposition for /metrics
 //   - middleware.go — recovery, body limits, request accounting
 package server

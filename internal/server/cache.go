@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"symcluster/internal/faultinject"
 	"symcluster/internal/graph"
 )
 
@@ -62,7 +63,12 @@ func GraphBytes(u *graph.Undirected) int64 {
 }
 
 // Get returns the cached graph for key, marking it most recently used.
+// The "cache.get" fault site exercises delay and panic injection; Get
+// has no error path, so injected errors are treated as misses.
 func (c *Cache) Get(key CacheKey) (*graph.Undirected, bool) {
+	if err := faultinject.Fire("cache.get"); err != nil {
+		return nil, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -77,7 +83,12 @@ func (c *Cache) Get(key CacheKey) (*graph.Undirected, bool) {
 
 // Put inserts (or refreshes) the graph under key, evicting LRU entries
 // until the budget holds. Oversized graphs are silently not cached.
+// The "cache.put" fault site turns injected errors into dropped
+// inserts (a legal cache behaviour callers must already tolerate).
 func (c *Cache) Put(key CacheKey, u *graph.Undirected) {
+	if err := faultinject.Fire("cache.put"); err != nil {
+		return
+	}
 	bytes := GraphBytes(u)
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -69,7 +69,10 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		code := http.StatusBadRequest
 		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
+		// Size rejections — the request body cap (either content type)
+		// or a single line overflowing the parser buffer — are 413, not
+		// 400: the input may be well-formed, it just does not fit.
+		if errors.As(err, &mbe) || errors.Is(err, symcluster.ErrInputTooLarge) {
 			code = http.StatusRequestEntityTooLarge
 		}
 		writeError(w, code, fmt.Errorf("parsing edge list: %w", err))
@@ -137,6 +140,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 		go func() {
 			res, rerr := wait()
+			s.logWorkerPanic(rerr)
 			resp, _ := res.(*ClusterResponse)
 			s.jobs.Finish(job.ID, resp, rerr, errors.Is(rerr, context.Canceled))
 		}()
@@ -151,6 +155,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.pool.Run(ctx, func(ctx context.Context) (any, error) { return runner(ctx) })
 	if err != nil {
+		s.logWorkerPanic(err)
 		code := httpStatus(err)
 		if code == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
@@ -199,6 +204,9 @@ func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*Cl
 	if req.Inflation != 0 && req.Inflation <= 1 {
 		return nil, badRequest("inflation must be > 1")
 	}
+	if err := s.admit(rg, method, algo); err != nil {
+		return nil, err
+	}
 
 	opt := symcluster.DefaultSymmetrizeOptions()
 	if req.Alpha != nil {
@@ -217,8 +225,10 @@ func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*Cl
 
 // runCluster executes the two-stage pipeline for one request, serving
 // the symmetrization from cache when an identical product exists. It
-// runs on a pool worker; the context is checked between stages (the
-// stages themselves are uninterruptible CPU-bound kernels).
+// runs on a pool worker; the context is threaded into both stages,
+// whose kernels poll it at iteration and row-block boundaries, so a
+// client disconnect or timeout frees the worker within one block of
+// kernel work.
 func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, req *ClusterRequest, method symcluster.SymMethod, algo symcluster.Algorithm, opt symcluster.SymmetrizeOptions) (*ClusterResponse, error) {
 	resp := &ClusterResponse{
 		GraphID:   rg.info.ID,
@@ -237,7 +247,7 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, req *Clust
 	u, hit := s.cache.Get(key)
 	if !hit {
 		var err error
-		u, err = symcluster.Symmetrize(rg.graph, method, opt)
+		u, err = symcluster.SymmetrizeCtx(ctx, rg.graph, method, opt)
 		if err != nil {
 			return nil, fmt.Errorf("symmetrize: %w", err)
 		}
@@ -253,7 +263,7 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, req *Clust
 	}
 
 	start = time.Now()
-	res, err := symcluster.Cluster(u, algo, symcluster.ClusterOptions{
+	res, err := symcluster.ClusterCtx(ctx, u, algo, symcluster.ClusterOptions{
 		TargetClusters: req.K,
 		Inflation:      req.Inflation,
 		Seed:           req.Seed,
@@ -265,6 +275,16 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, req *Clust
 	resp.K = res.K
 	resp.Assign = res.Assign
 	return resp, ctx.Err()
+}
+
+// logWorkerPanic logs the captured stack of a recovered worker panic.
+// Clients only ever see the short PanicError message; the stack stays
+// server-side.
+func (s *Server) logWorkerPanic(err error) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		s.logf("recovered worker panic: %v\n%s", pe.Value, pe.Stack)
+	}
 }
 
 // handleGetJob serves GET /v1/jobs/{id}.

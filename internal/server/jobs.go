@@ -32,35 +32,72 @@ type Job struct {
 }
 
 // JobStore tracks async jobs in memory. Finished jobs are retained (up
-// to a cap, oldest evicted first) so clients can fetch results after
-// completion; there is no persistence — jobs die with the process,
-// which graceful drain makes visible by finishing in-flight work first.
+// to a cap, oldest evicted first) and expire after a TTL so an
+// unattended daemon does not accumulate completed results forever;
+// there is no persistence — jobs die with the process, which graceful
+// drain makes visible by finishing in-flight work first.
 type JobStore struct {
 	mu       sync.Mutex
 	seq      int64
 	jobs     map[string]*Job
 	finished []string // finished job ids, oldest first
 	retain   int
+	ttl      time.Duration
+	expired  int64
+	now      func() time.Time // injectable for deterministic TTL tests
 }
 
 // NewJobStore returns a store retaining at most retain finished jobs
-// (clamped to at least 1).
-func NewJobStore(retain int) *JobStore {
+// (clamped to at least 1). Finished jobs older than ttl are expired
+// lazily on access; ttl <= 0 disables expiry.
+func NewJobStore(retain int, ttl time.Duration) *JobStore {
 	if retain < 1 {
 		retain = 1
 	}
-	return &JobStore{jobs: make(map[string]*Job), retain: retain}
+	return &JobStore{jobs: make(map[string]*Job), retain: retain, ttl: ttl, now: time.Now}
+}
+
+// expireLocked drops finished jobs whose TTL has lapsed. Called with
+// the mutex held from every accessor, so expiry needs no timer
+// goroutine and costs one time comparison per retained job.
+func (s *JobStore) expireLocked() {
+	if s.ttl <= 0 || len(s.finished) == 0 {
+		return
+	}
+	cutoff := s.now().Add(-s.ttl)
+	kept := s.finished[:0]
+	for _, id := range s.finished {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if j.Finished.Before(cutoff) {
+			delete(s.jobs, id)
+			s.expired++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.finished = kept
+}
+
+// Expired returns the number of finished jobs dropped by TTL expiry.
+func (s *JobStore) Expired() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
 }
 
 // Create registers a new pending job and returns it.
 func (s *JobStore) Create() *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked()
 	s.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%06d", s.seq),
 		State:   JobPending,
-		Created: time.Now(),
+		Created: s.now(),
 	}
 	s.jobs[j.ID] = j
 	return j
@@ -72,7 +109,7 @@ func (s *JobStore) Start(id string) {
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
 		j.State = JobRunning
-		j.Started = time.Now()
+		j.Started = s.now()
 	}
 }
 
@@ -84,7 +121,7 @@ func (s *JobStore) Finish(id string, result *ClusterResponse, err error, cancele
 	if !ok {
 		return
 	}
-	j.Finished = time.Now()
+	j.Finished = s.now()
 	switch {
 	case canceled:
 		j.State = JobCanceled
@@ -110,6 +147,7 @@ func (s *JobStore) Finish(id string, result *ClusterResponse, err error, cancele
 func (s *JobStore) Snapshot(id string) (Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked()
 	j, ok := s.jobs[id]
 	if !ok {
 		return Job{}, false
@@ -121,6 +159,7 @@ func (s *JobStore) Snapshot(id string) (Job, bool) {
 func (s *JobStore) Counts() map[JobState]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked()
 	counts := make(map[JobState]int, 5)
 	for _, j := range s.jobs {
 		counts[j.State]++

@@ -4,10 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestJobLifecycle(t *testing.T) {
-	s := NewJobStore(8)
+	s := NewJobStore(8, 0)
 	j := s.Create()
 	if j.State != JobPending || j.ID == "" {
 		t.Fatalf("created job = %+v", j)
@@ -27,7 +28,7 @@ func TestJobLifecycle(t *testing.T) {
 }
 
 func TestJobFailureAndCancel(t *testing.T) {
-	s := NewJobStore(8)
+	s := NewJobStore(8, 0)
 	fail := s.Create()
 	s.Start(fail.ID)
 	s.Finish(fail.ID, nil, errors.New("boom"), false)
@@ -48,7 +49,7 @@ func TestJobFailureAndCancel(t *testing.T) {
 }
 
 func TestJobRetentionEvictsOldestFinished(t *testing.T) {
-	s := NewJobStore(2)
+	s := NewJobStore(2, 0)
 	var ids []string
 	for i := 0; i < 4; i++ {
 		j := s.Create()
@@ -81,7 +82,7 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 }
 
 func TestJobIDsAreSequentialAndUnique(t *testing.T) {
-	s := NewJobStore(16)
+	s := NewJobStore(16, 0)
 	seen := map[string]bool{}
 	for i := 0; i < 5; i++ {
 		j := s.Create()
@@ -92,5 +93,55 @@ func TestJobIDsAreSequentialAndUnique(t *testing.T) {
 		if want := fmt.Sprintf("job-%06d", i+1); j.ID != want {
 			t.Fatalf("id = %s, want %s", j.ID, want)
 		}
+	}
+}
+
+func TestJobTTLExpiry(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	s := NewJobStore(10, time.Minute)
+	s.now = func() time.Time { return now }
+
+	j := s.Create()
+	s.Start(j.ID)
+	s.Finish(j.ID, nil, nil, false)
+
+	// Inside the TTL the finished job is still visible.
+	now = now.Add(59 * time.Second)
+	if _, ok := s.Snapshot(j.ID); !ok {
+		t.Fatal("job expired before its TTL")
+	}
+
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Snapshot(j.ID); ok {
+		t.Fatal("job visible past its TTL")
+	}
+	if s.Expired() != 1 {
+		t.Fatalf("expired = %d, want 1", s.Expired())
+	}
+
+	// Unfinished jobs are never expired, however old.
+	running := s.Create()
+	s.Start(running.ID)
+	now = now.Add(24 * time.Hour)
+	if _, ok := s.Snapshot(running.ID); !ok {
+		t.Fatal("running job expired")
+	}
+	if got := s.Counts()[JobRunning]; got != 1 {
+		t.Fatalf("running count = %d, want 1", got)
+	}
+}
+
+func TestJobTTLDisabled(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	s := NewJobStore(10, 0)
+	s.now = func() time.Time { return now }
+	j := s.Create()
+	s.Finish(j.ID, nil, nil, false)
+	now = now.Add(1000 * time.Hour)
+	if _, ok := s.Snapshot(j.ID); !ok {
+		t.Fatal("job expired with TTL disabled")
+	}
+	if s.Expired() != 0 {
+		t.Fatalf("expired = %d, want 0", s.Expired())
 	}
 }

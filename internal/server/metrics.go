@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,8 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]int64
 	latency  map[string]*latencyAgg
+
+	admissionRejected atomic.Int64
 }
 
 type requestKey struct {
@@ -50,6 +53,10 @@ func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
 	agg.sum += d.Seconds()
 	agg.count++
 }
+
+// IncAdmissionRejected counts one clustering request rejected by the
+// working-set byte budget.
+func (m *Metrics) IncAdmissionRejected() { m.admissionRejected.Add(1) }
 
 // WriteTo renders the exposition. The caller supplies the live gauges
 // (cache, pool, jobs) so Metrics itself holds only request counters.
@@ -101,6 +108,12 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore)
 	fmt.Fprintf(w, "symclusterd_workers_busy %d\n", pool.Busy())
 	fmt.Fprintln(w, "# TYPE symclusterd_workers_total gauge")
 	fmt.Fprintf(w, "symclusterd_workers_total %d\n", pool.Workers())
+	fmt.Fprintln(w, "# TYPE symclusterd_panics_recovered_total counter")
+	fmt.Fprintf(w, "symclusterd_panics_recovered_total %d\n", pool.PanicsRecovered())
+	fmt.Fprintln(w, "# TYPE symclusterd_admission_rejected_total counter")
+	fmt.Fprintf(w, "symclusterd_admission_rejected_total %d\n", m.admissionRejected.Load())
+	fmt.Fprintln(w, "# TYPE symclusterd_jobs_expired_total counter")
+	fmt.Fprintf(w, "symclusterd_jobs_expired_total %d\n", jobs.Expired())
 
 	fmt.Fprintln(w, "# TYPE symclusterd_jobs gauge")
 	counts := jobs.Counts()

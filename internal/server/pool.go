@@ -3,8 +3,12 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"symcluster/internal/faultinject"
 )
 
 // Pool errors distinguished by handlers: a full queue maps to 503 with
@@ -13,6 +17,21 @@ var (
 	ErrQueueFull  = errors.New("server: worker queue full")
 	ErrPoolClosed = errors.New("server: worker pool closed")
 )
+
+// PanicError is the error a task resolves to when the kernel it ran
+// panicked. The worker recovers the panic so one poisoned job cannot
+// take down the daemon; Stack captures the goroutine stack at the
+// panic for server-side logging (it is never sent to clients).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value without the stack; handlers log the
+// stack separately and keep client-facing messages short.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("server: worker panic: %v", e.Value)
+}
 
 // Pool is a bounded worker pool. A fixed number of goroutines drain a
 // bounded task queue; Submit never blocks (it fails fast with
@@ -28,6 +47,7 @@ type Pool struct {
 
 	workers int
 	busy    atomic.Int64
+	panics  atomic.Int64
 }
 
 type poolTask struct {
@@ -69,10 +89,27 @@ func (p *Pool) worker() {
 			continue
 		}
 		p.busy.Add(1)
-		t.res, t.err = t.fn(t.ctx)
+		t.res, t.err = p.runTask(t)
 		p.busy.Add(-1)
 		close(t.done)
 	}
+}
+
+// runTask executes one task with panic isolation: a panicking kernel is
+// recovered into a *PanicError (counted for /metrics) instead of
+// crashing the worker goroutine — and with it the daemon.
+func (p *Pool) runTask(t *poolTask) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			res = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Fire("pool.task"); ferr != nil {
+		return nil, ferr
+	}
+	return t.fn(t.ctx)
 }
 
 // Submit enqueues fn and returns immediately with a wait function. The
@@ -120,6 +157,10 @@ func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// PanicsRecovered returns the number of worker panics recovered since
+// the pool started.
+func (p *Pool) PanicsRecovered() int64 { return p.panics.Load() }
 
 // Close stops accepting tasks and waits for queued and running work to
 // drain, or for ctx to expire — whichever comes first. It returns

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -162,5 +163,37 @@ func mustClose(t *testing.T, p *Pool) {
 	defer cancel()
 	if err := p.Close(ctx); err != nil {
 		t.Fatalf("pool close: %v", err)
+	}
+}
+
+func TestPoolRecoversPanic(t *testing.T) {
+	p := NewPool(1, 2)
+	defer mustClose(t, p)
+	res, err := p.Run(context.Background(), func(context.Context) (any, error) {
+		panic("kernel exploded")
+	})
+	if res != nil {
+		t.Fatalf("res = %v, want nil", res)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "kernel exploded" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "kernel exploded") || strings.Contains(msg, "goroutine ") {
+		t.Fatalf("Error() = %q: want the value, never the stack", msg)
+	}
+	if p.PanicsRecovered() != 1 {
+		t.Fatalf("panics recovered = %d, want 1", p.PanicsRecovered())
+	}
+	// The single worker survived the panic and still runs tasks.
+	res, err = p.Run(context.Background(), func(context.Context) (any, error) { return 42, nil })
+	if err != nil || res != 42 {
+		t.Fatalf("post-panic run: res=%v err=%v", res, err)
 	}
 }

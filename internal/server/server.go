@@ -29,6 +29,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetainJobs caps retained finished jobs (default 256).
 	RetainJobs int
+	// JobTTL expires finished async jobs after this duration so an
+	// unattended daemon does not hold results forever. Zero or negative
+	// disables expiry (the default; cmd/symclusterd sets 15m).
+	JobTTL time.Duration
+	// MaxJobBytes rejects clustering requests whose estimated working
+	// set exceeds this many bytes with 413 (admission control). Zero or
+	// negative disables the check (the default; cmd/symclusterd sets
+	// 4 GiB).
+	MaxJobBytes int64
 	// Logger receives request and lifecycle logs; nil means the
 	// standard logger.
 	Logger *log.Logger
@@ -73,11 +82,15 @@ type Server struct {
 }
 
 // registeredGraph is one uploaded graph plus the precomputed identity
-// used in cache keys.
+// used in cache keys and the degree-profile flop bounds used by
+// admission control (computed once at registration, O(nnz)).
 type registeredGraph struct {
 	info        GraphInfo
 	graph       *symcluster.DirectedGraph
 	fingerprint uint64
+	// couplingFlops bounds nnz(AAᵀ); cocitFlops bounds nnz(AᵀA).
+	couplingFlops int64
+	cocitFlops    int64
 }
 
 // New builds a ready-to-serve Server.
@@ -88,7 +101,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
 		cache:   NewCache(cfg.CacheBytes),
-		jobs:    NewJobStore(cfg.RetainJobs),
+		jobs:    NewJobStore(cfg.RetainJobs, cfg.JobTTL),
 		metrics: NewMetrics(),
 	}
 	s.graphs = make(map[string]*registeredGraph)
@@ -136,8 +149,15 @@ func (s *Server) RegisterGraph(g *symcluster.DirectedGraph) GraphInfo {
 		Edges:             g.M(),
 		SymmetricFraction: g.SymmetricLinkFraction(),
 	}
+	coupling, cocit := productFlops(g.Adj)
 	s.graphMu.Lock()
-	s.graphs[id] = &registeredGraph{info: info, graph: g, fingerprint: fp}
+	s.graphs[id] = &registeredGraph{
+		info:          info,
+		graph:         g,
+		fingerprint:   fp,
+		couplingFlops: coupling,
+		cocitFlops:    cocit,
+	}
 	s.graphMu.Unlock()
 	return info
 }

@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -67,6 +68,14 @@ type Result struct {
 // (ii) the dependence on eigenvector computations that makes the
 // method slow at scale (the paper's §5.2, Figure 6).
 func BestWCut(a *matrix.CSR, k int, opt BestWCutOptions) (*Result, error) {
+	return BestWCutCtx(context.Background(), a, k, opt)
+}
+
+// BestWCutCtx is BestWCut with cancellation: ctx is threaded through
+// the stationary-distribution power iteration, the Lanczos
+// factorisation and the k-means restarts, so a cancelled context aborts
+// the pipeline at the next iteration boundary with ctx's error.
+func BestWCutCtx(ctx context.Context, a *matrix.CSR, k int, opt BestWCutOptions) (*Result, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("spectral: adjacency %dx%d not square", a.Rows, a.Cols)
 	}
@@ -94,7 +103,7 @@ func BestWCut(a *matrix.CSR, k int, opt BestWCutOptions) (*Result, error) {
 		if teleport == 0 {
 			teleport = walk.DefaultTeleport
 		}
-		pi, err := walk.PageRank(a, teleport)
+		pi, err := walk.PageRankCtx(ctx, a, teleport)
 		if err != nil {
 			return nil, fmt.Errorf("spectral: BestWCut stationary distribution: %w", err)
 		}
@@ -122,9 +131,9 @@ func BestWCut(a *matrix.CSR, k int, opt BestWCutOptions) (*Result, error) {
 	nmat := s.ScaleRows(dinv).ScaleCols(dinv)
 
 	if opt.DenseEig {
-		return denseEmbedCluster(nmat, k, opt.KMeans)
+		return denseEmbedCluster(ctx, nmat, k, opt.KMeans)
 	}
-	return spectralEmbedCluster(Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
+	return spectralEmbedCluster(ctx, Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
 }
 
 // ZhouOptions configures ZhouDirected.
@@ -146,6 +155,12 @@ type ZhouOptions struct {
 // the top-k of the symmetrized transition term), and k-means the
 // row-normalised embedding.
 func ZhouDirected(a *matrix.CSR, k int, opt ZhouOptions) (*Result, error) {
+	return ZhouDirectedCtx(context.Background(), a, k, opt)
+}
+
+// ZhouDirectedCtx is ZhouDirected with cancellation at iteration
+// boundaries of the power iteration, Lanczos and k-means stages.
+func ZhouDirectedCtx(ctx context.Context, a *matrix.CSR, k int, opt ZhouOptions) (*Result, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("spectral: adjacency %dx%d not square", a.Rows, a.Cols)
 	}
@@ -161,7 +176,7 @@ func ZhouDirected(a *matrix.CSR, k int, opt ZhouOptions) (*Result, error) {
 		teleport = walk.DefaultTeleport
 	}
 	p := walk.TransitionMatrix(a)
-	pi, err := walk.StationaryDistribution(p, walk.Options{Teleport: teleport})
+	pi, err := walk.StationaryDistributionCtx(ctx, p, walk.Options{Teleport: teleport})
 	if err != nil {
 		return nil, fmt.Errorf("spectral: Zhou stationary distribution: %w", err)
 	}
@@ -176,32 +191,32 @@ func ZhouDirected(a *matrix.CSR, k int, opt ZhouOptions) (*Result, error) {
 	half := p.ScaleRows(sqrtPi).ScaleCols(invSqrtPi) // Π^{1/2} P Π^{-1/2}
 	nmat := matrix.Add(half, half.Transpose(), 0.5, 0.5)
 
-	return spectralEmbedCluster(Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
+	return spectralEmbedCluster(ctx, Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
 }
 
 // denseEmbedCluster is spectralEmbedCluster with the dense O(n³)
 // eigensolver, for era-faithful timing runs.
-func denseEmbedCluster(nmat *matrix.CSR, k int, kopt KMeansOptions) (*Result, error) {
+func denseEmbedCluster(ctx context.Context, nmat *matrix.CSR, k int, kopt KMeansOptions) (*Result, error) {
 	eig, err := DenseEigen(nmat, k)
 	if err != nil {
 		return nil, fmt.Errorf("spectral: dense eigensolver: %w", err)
 	}
-	return embedAndKMeans(eig, nmat.Rows, k, kopt)
+	return embedAndKMeans(ctx, eig, nmat.Rows, k, kopt)
 }
 
 // spectralEmbedCluster computes the top-k eigenvectors of op, builds
 // the n×k embedding, row-normalises it and k-means it.
-func spectralEmbedCluster(op MatVec, n, k int, lopt LanczosOptions, kopt KMeansOptions) (*Result, error) {
-	eig, err := TopEigen(op, k, lopt)
+func spectralEmbedCluster(ctx context.Context, op MatVec, n, k int, lopt LanczosOptions, kopt KMeansOptions) (*Result, error) {
+	eig, err := TopEigenCtx(ctx, op, k, lopt)
 	if err != nil {
 		return nil, fmt.Errorf("spectral: eigensolver: %w", err)
 	}
-	return embedAndKMeans(eig, n, k, kopt)
+	return embedAndKMeans(ctx, eig, n, k, kopt)
 }
 
 // embedAndKMeans builds the n×k eigenvector embedding, row-normalises
 // it and k-means it.
-func embedAndKMeans(eig *Eigen, n, k int, kopt KMeansOptions) (*Result, error) {
+func embedAndKMeans(ctx context.Context, eig *Eigen, n, k int, kopt KMeansOptions) (*Result, error) {
 	embed := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		row := make([]float64, k)
@@ -211,7 +226,7 @@ func embedAndKMeans(eig *Eigen, n, k int, kopt KMeansOptions) (*Result, error) {
 		embed[i] = row
 	}
 	NormalizeRowsUnit(embed)
-	assign, _, err := KMeans(embed, k, kopt)
+	assign, _, err := KMeansCtx(ctx, embed, k, kopt)
 	if err != nil {
 		return nil, fmt.Errorf("spectral: kmeans: %w", err)
 	}

@@ -8,10 +8,12 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 )
 
@@ -165,6 +167,13 @@ type LanczosOptions struct {
 // The operator must be symmetric; no check is possible through the
 // MatVec interface, so callers are responsible.
 func TopEigen(op MatVec, k int, opt LanczosOptions) (*Eigen, error) {
+	return TopEigenCtx(context.Background(), op, k, opt)
+}
+
+// TopEigenCtx is TopEigen with cancellation: ctx is polled before each
+// Lanczos step, so a cancelled context aborts the factorisation within
+// one operator application with ctx's error.
+func TopEigenCtx(ctx context.Context, op MatVec, k int, opt LanczosOptions) (*Eigen, error) {
 	n := op.Dim()
 	if k < 1 {
 		return nil, fmt.Errorf("spectral: k = %d, want >= 1", k)
@@ -199,6 +208,12 @@ func TopEigen(op MatVec, k int, opt LanczosOptions) (*Eigen, error) {
 	var prevBeta float64
 
 	for j := 0; j < steps; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Fire("spectral.lanczos"); err != nil {
+			return nil, fmt.Errorf("spectral: %w", err)
+		}
 		w := op.Apply(v[j])
 		if prev != nil {
 			axpy(w, prev, -prevBeta)

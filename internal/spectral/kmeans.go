@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,6 +31,13 @@ func (o *KMeansOptions) fill() {
 // k-means++ seeding and Lloyd iterations, returning the assignment and
 // the final inertia (sum of squared distances to centroids).
 func KMeans(x [][]float64, k int, opt KMeansOptions) ([]int, float64, error) {
+	return KMeansCtx(context.Background(), x, k, opt)
+}
+
+// KMeansCtx is KMeans with cancellation: ctx is polled before each
+// restart, so a cancelled context aborts the clustering within one full
+// k-means run with ctx's error.
+func KMeansCtx(ctx context.Context, x [][]float64, k int, opt KMeansOptions) ([]int, float64, error) {
 	n := len(x)
 	if k < 1 {
 		return nil, 0, fmt.Errorf("spectral: kmeans k = %d, want >= 1", k)
@@ -46,6 +54,9 @@ func KMeans(x [][]float64, k int, opt KMeansOptions) ([]int, float64, error) {
 	var bestAssign []int
 	bestInertia := math.Inf(1)
 	for r := 0; r < opt.Restarts; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		assign, inertia := kmeansOnce(x, k, opt.MaxIter, rng)
 		if inertia < bestInertia {
 			bestInertia = inertia

@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,6 +21,12 @@ type NormalizedCutOptions struct {
 // and k-means it. Provided as the textbook baseline the two-stage
 // framework plugs arbitrary clusterers into.
 func NormalizedCut(adj *matrix.CSR, k int, opt NormalizedCutOptions) (*Result, error) {
+	return NormalizedCutCtx(context.Background(), adj, k, opt)
+}
+
+// NormalizedCutCtx is NormalizedCut with cancellation at iteration
+// boundaries of the Lanczos and k-means stages.
+func NormalizedCutCtx(ctx context.Context, adj *matrix.CSR, k int, opt NormalizedCutOptions) (*Result, error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("spectral: adjacency %dx%d not square", adj.Rows, adj.Cols)
 	}
@@ -38,5 +45,5 @@ func NormalizedCut(adj *matrix.CSR, k int, opt NormalizedCutOptions) (*Result, e
 		}
 	}
 	nmat := adj.ScaleRows(dinv).ScaleCols(dinv)
-	return spectralEmbedCluster(Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
+	return spectralEmbedCluster(ctx, Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
 }

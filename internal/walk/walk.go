@@ -6,9 +6,11 @@
 package walk
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 )
 
@@ -59,6 +61,13 @@ func (o *Options) fill() {
 //
 // which never materialises the dense teleport matrix.
 func StationaryDistribution(p *matrix.CSR, opt Options) ([]float64, error) {
+	return StationaryDistributionCtx(context.Background(), p, opt)
+}
+
+// StationaryDistributionCtx is StationaryDistribution with
+// cancellation: ctx is polled once per power iteration, so a cancelled
+// context aborts the walk within one iteration with ctx's error.
+func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) ([]float64, error) {
 	opt.fill()
 	n := p.Rows
 	if n == 0 {
@@ -80,6 +89,12 @@ func StationaryDistribution(p *matrix.CSR, opt Options) ([]float64, error) {
 	next := make([]float64, n)
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Fire("walk.power"); err != nil {
+			return nil, fmt.Errorf("walk: %w", err)
+		}
 		var danglingMass float64
 		for i := 0; i < n; i++ {
 			if dangling[i] {
@@ -124,4 +139,9 @@ func StationaryDistribution(p *matrix.CSR, opt Options) ([]float64, error) {
 // 1-t). It is StationaryDistribution applied to the natural walk.
 func PageRank(a *matrix.CSR, teleport float64) ([]float64, error) {
 	return StationaryDistribution(TransitionMatrix(a), Options{Teleport: teleport})
+}
+
+// PageRankCtx is PageRank with cancellation at iteration boundaries.
+func PageRankCtx(ctx context.Context, a *matrix.CSR, teleport float64) ([]float64, error) {
+	return StationaryDistributionCtx(ctx, TransitionMatrix(a), Options{Teleport: teleport})
 }

@@ -10,8 +10,14 @@ import (
 	"symcluster/internal/matrix"
 )
 
+// ErrInputTooLarge marks inputs rejected for size rather than syntax,
+// such as a single edge-list line exceeding the parser's buffer.
+// Servers should map it to 413 rather than 400; test with errors.Is.
+var ErrInputTooLarge = graph.ErrInputTooLarge
+
 // ReadEdgeList parses a directed graph from the edge-list text format
-// ("src dst [weight]" per line, '#' comments).
+// ("src dst [weight]" per line, '#' comments). Weights must be finite
+// and non-negative; oversized lines fail with ErrInputTooLarge.
 func ReadEdgeList(r io.Reader) (*DirectedGraph, error) { return graph.ReadEdgeList(r) }
 
 // WriteEdgeList writes a directed graph in edge-list format.

@@ -37,6 +37,7 @@
 package symcluster
 
 import (
+	"context"
 	"fmt"
 
 	"symcluster/internal/core"
@@ -122,6 +123,15 @@ func Symmetrize(g *DirectedGraph, method SymMethod, opt SymmetrizeOptions) (*Und
 	return core.Symmetrize(g, method, opt)
 }
 
+// SymmetrizeCtx is Symmetrize with cancellation: the kernels underneath
+// poll ctx at iteration and row-block boundaries, so a cancelled or
+// expired context aborts the symmetrization within one block of kernel
+// work and the call returns ctx's error (context.Canceled or
+// context.DeadlineExceeded).
+func SymmetrizeCtx(ctx context.Context, g *DirectedGraph, method SymMethod, opt SymmetrizeOptions) (*UndirectedGraph, error) {
+	return core.SymmetrizeCtx(ctx, g, method, opt)
+}
+
 // CalibrateThreshold estimates a degree-discounted prune threshold that
 // yields approximately the target average degree in the symmetrized
 // graph, following §5.3.1's sampling recipe.
@@ -183,13 +193,21 @@ type Clustering struct {
 
 // Cluster runs the selected algorithm on a symmetrized graph.
 func Cluster(u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clustering, error) {
+	return ClusterCtx(context.Background(), u, algo, opt)
+}
+
+// ClusterCtx is Cluster with cancellation: every substrate polls ctx at
+// iteration boundaries (MCL expansion rounds, bisection and refinement
+// passes), so a cancelled or expired context aborts the clustering
+// within one iteration and the call returns ctx's error.
+func ClusterCtx(ctx context.Context, u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clustering, error) {
 	switch algo {
 	case MLRMCL:
 		inflation := opt.Inflation
 		if inflation <= 1 {
 			inflation = inflationForTarget(u.N(), opt.TargetClusters)
 		}
-		res, err := mcl.Cluster(u.Adj, mcl.Options{
+		res, err := mcl.ClusterCtx(ctx, u.Adj, mcl.Options{
 			Inflation:      inflation,
 			Multilevel:     u.N() > 5000,
 			MaxIter:        40,
@@ -206,7 +224,7 @@ func Cluster(u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clusterin
 		if k <= 0 {
 			return nil, fmt.Errorf("symcluster: Metis requires TargetClusters >= 1")
 		}
-		res, err := metis.Partition(u.Adj, k, metis.Options{Seed: opt.Seed})
+		res, err := metis.PartitionCtx(ctx, u.Adj, k, metis.Options{Seed: opt.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +234,7 @@ func Cluster(u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clusterin
 		if k <= 0 {
 			return nil, fmt.Errorf("symcluster: Graclus requires TargetClusters >= 1")
 		}
-		res, err := graclus.Cluster(u.Adj, k, graclus.Options{Seed: opt.Seed})
+		res, err := graclus.ClusterCtx(ctx, u.Adj, k, graclus.Options{Seed: opt.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -252,17 +270,29 @@ func inflationForTarget(n, target int) float64 {
 // ClusterDirected runs the full two-stage pipeline: symmetrize with
 // method, then cluster with algo.
 func ClusterDirected(g *DirectedGraph, method SymMethod, symOpt SymmetrizeOptions, algo Algorithm, clusterOpt ClusterOptions) (*Clustering, error) {
-	u, err := Symmetrize(g, method, symOpt)
+	return ClusterDirectedCtx(context.Background(), g, method, symOpt, algo, clusterOpt)
+}
+
+// ClusterDirectedCtx is ClusterDirected with cancellation threaded
+// through both pipeline stages.
+func ClusterDirectedCtx(ctx context.Context, g *DirectedGraph, method SymMethod, symOpt SymmetrizeOptions, algo Algorithm, clusterOpt ClusterOptions) (*Clustering, error) {
+	u, err := SymmetrizeCtx(ctx, g, method, symOpt)
 	if err != nil {
 		return nil, err
 	}
-	return Cluster(u, algo, clusterOpt)
+	return ClusterCtx(ctx, u, algo, clusterOpt)
 }
 
 // BestWCut runs the reimplemented Meila–Pentney weighted-cut spectral
 // baseline directly on the directed graph (no symmetrization stage).
 func BestWCut(g *DirectedGraph, k int, seed int64) (*Clustering, error) {
-	res, err := spectral.BestWCut(g.Adj, k, spectral.BestWCutOptions{
+	return BestWCutCtx(context.Background(), g, k, seed)
+}
+
+// BestWCutCtx is BestWCut with cancellation at iteration boundaries of
+// the power iteration, Lanczos and k-means stages.
+func BestWCutCtx(ctx context.Context, g *DirectedGraph, k int, seed int64) (*Clustering, error) {
+	res, err := spectral.BestWCutCtx(ctx, g.Adj, k, spectral.BestWCutOptions{
 		KMeans:  spectral.KMeansOptions{Seed: seed},
 		Lanczos: spectral.LanczosOptions{Seed: seed},
 	})
@@ -275,7 +305,13 @@ func BestWCut(g *DirectedGraph, k int, seed int64) (*Clustering, error) {
 // ZhouSpectral runs the directed-Laplacian spectral baseline of Zhou,
 // Huang & Schölkopf directly on the directed graph.
 func ZhouSpectral(g *DirectedGraph, k int, seed int64) (*Clustering, error) {
-	res, err := spectral.ZhouDirected(g.Adj, k, spectral.ZhouOptions{
+	return ZhouSpectralCtx(context.Background(), g, k, seed)
+}
+
+// ZhouSpectralCtx is ZhouSpectral with cancellation at iteration
+// boundaries of the power iteration, Lanczos and k-means stages.
+func ZhouSpectralCtx(ctx context.Context, g *DirectedGraph, k int, seed int64) (*Clustering, error) {
+	res, err := spectral.ZhouDirectedCtx(ctx, g.Adj, k, spectral.ZhouOptions{
 		KMeans:  spectral.KMeansOptions{Seed: seed},
 		Lanczos: spectral.LanczosOptions{Seed: seed},
 	})
