@@ -1,15 +1,15 @@
 # Pre-merge checks for symcluster. `make check` is the documented
-# gate: formatting, vet, a full build, the short test suite, the race
-# detector over the whole module, and a bounded fuzz pass of the
-# edge-list parser. The long statistical experiments (minutes per
-# seed) run only via `make test-long`.
+# gate: formatting, vet, the registry lint, a full build, the short
+# test suite, the race detector over the whole module, and a bounded
+# fuzz pass of the edge-list parser. The long statistical experiments
+# (minutes per seed) run only via `make test-long`.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race fuzz test-long
+.PHONY: check fmt vet lint build test race fuzz test-long
 
-check: fmt vet build test race fuzz
+check: fmt vet lint build test race fuzz
 	@echo "check: ok"
 
 fmt:
@@ -18,6 +18,17 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The pipeline registry is the single source of truth for method and
+# algorithm catalogs. Switching over those enums anywhere else
+# reintroduces a shadow catalog that silently goes stale when an entry
+# is added, so any such switch outside internal/pipeline fails lint.
+lint:
+	@out="$$(grep -rn --include='*.go' -E 'switch[ (][^{]*(Method|Algorithm|Algo)' . \
+		| grep -v '^\./internal/pipeline/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: switch over Method/Algorithm outside internal/pipeline" \
+			"(use the registry instead):"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

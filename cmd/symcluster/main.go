@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	symcluster -in graph.edges [-method dd|bib|aat|rw] [-algo mcl|metis|graclus]
+//	symcluster -in graph.edges [-method dd|bib|aat|rw] [-algo mcl|metis|graclus|spectral|bestwcut|zhou]
 //	           [-k N] [-alpha A] [-beta B] [-threshold T] [-inflation R]
 //	           [-truth truth.txt] [-seed N] [-stats] [-json]
+//
+// Method and algorithm names come from the pipeline registry: any
+// canonical name or registered alias ("degree-discounted",
+// "random-walk", "mlr-mcl", …) is accepted, case-insensitively.
+// Algorithms that cluster the directed graph directly (bestwcut, zhou)
+// bypass the symmetrize stage, exactly as symclusterd does.
 //
 // With -truth, the micro-averaged best-match F-score is reported on
 // stderr. With -stats, symmetrized-graph statistics are reported on
@@ -17,182 +23,179 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
-	"time"
 
 	"symcluster"
 	"symcluster/internal/graph"
+	"symcluster/internal/pipeline"
 	"symcluster/internal/server"
 )
 
 func main() {
-	in := flag.String("in", "", "input edge-list file (required)")
-	method := flag.String("method", "dd", "symmetrization: dd, bib, aat, rw")
-	algo := flag.String("algo", "mcl", "clustering algorithm: mcl, metis, graclus, spectral, bestwcut, zhou")
-	localSeed := flag.Int("local", -1, "extract one local cluster around this seed node instead of a full clustering")
-	metisOut := flag.String("metisout", "", "also write the symmetrized graph in METIS format to this file")
-	k := flag.Int("k", 0, "target cluster count (required for metis/graclus)")
-	alpha := flag.Float64("alpha", 0.5, "out-degree discount exponent α (dd)")
-	beta := flag.Float64("beta", 0.5, "in-degree discount exponent β (dd)")
-	threshold := flag.Float64("threshold", 0, "prune threshold (dd/bib)")
-	inflation := flag.Float64("inflation", 0, "MLR-MCL inflation (overrides -k)")
-	truthPath := flag.String("truth", "", "ground-truth file for F-score evaluation")
-	seed := flag.Int64("seed", 1, "random seed")
-	stats := flag.Bool("stats", false, "print symmetrized-graph statistics to stderr")
-	jsonOut := flag.Bool("json", false, "emit the symclusterd POST /v1/cluster response schema on stdout")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the CLI body, factored out of main so tests can drive it
+// in-process (e.g. the CLI/daemon parity test).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symcluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input edge-list file (required)")
+	method := fs.String("method", "dd",
+		"symmetrization: "+strings.Join(pipeline.MethodNames(), ", ")+" (aliases accepted)")
+	algo := fs.String("algo", "mcl",
+		"clustering algorithm: "+strings.Join(pipeline.AlgorithmNames(), ", ")+" (aliases accepted)")
+	localSeed := fs.Int("local", -1, "extract one local cluster around this seed node instead of a full clustering")
+	metisOut := fs.String("metisout", "", "also write the symmetrized graph in METIS format to this file")
+	k := fs.Int("k", 0, "target cluster count (required for every algorithm except mcl)")
+	alpha := fs.Float64("alpha", 0.5, "out-degree discount exponent α (dd)")
+	beta := fs.Float64("beta", 0.5, "in-degree discount exponent β (dd)")
+	threshold := fs.Float64("threshold", 0, "prune threshold (dd/bib)")
+	inflation := fs.Float64("inflation", 0, "MLR-MCL inflation (overrides -k)")
+	truthPath := fs.String("truth", "", "ground-truth file for F-score evaluation")
+	seed := fs.Int64("seed", 1, "random seed")
+	stats := fs.Bool("stats", false, "print symmetrized-graph statistics to stderr")
+	jsonOut := fs.Bool("json", false, "emit the symclusterd POST /v1/cluster response schema on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "symcluster: -in FILE is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "symcluster: -in FILE is required")
+		fs.Usage()
+		return 2
 	}
 
 	g, err := symcluster.ReadEdgeListFile(*in)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Fprintf(os.Stderr, "symcluster: read %d nodes, %d edges (%.1f%% symmetric)\n",
+	fmt.Fprintf(stderr, "symcluster: read %d nodes, %d edges (%.1f%% symmetric)\n",
 		g.N(), g.M(), 100*g.SymmetricLinkFraction())
 
-	m, err := server.ParseMethod(*method)
+	sym, err := pipeline.LookupSymmetrizer(*method)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "symcluster: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "symcluster: %v\n", err)
+		return 2
+	}
+	cl, err := pipeline.LookupClusterer(*algo)
+	if err != nil {
+		fmt.Fprintf(stderr, "symcluster: %v\n", err)
+		return 2
 	}
 
 	opt := symcluster.DefaultSymmetrizeOptions()
 	opt.Alpha = *alpha
 	opt.Beta = *beta
 	opt.Threshold = *threshold
-
-	start := time.Now()
-	u, err := symcluster.Symmetrize(g, m, opt)
-	if err != nil {
-		fatal(err)
-	}
-	symMillis := float64(time.Since(start)) / float64(time.Millisecond)
-	fmt.Fprintf(os.Stderr, "symcluster: symmetrized (%v) to %d undirected edges in %.2fs\n",
-		m, u.M(), time.Since(start).Seconds())
-	if *stats {
-		deg := u.Degrees()
-		fmt.Fprintf(os.Stderr, "symcluster: degrees max=%d median=%d mean=%.1f singletons=%d\n",
-			graph.MaxDegree(deg), graph.MedianDegree(deg), graph.MeanDegree(deg), u.Singletons())
+	clOpt := symcluster.ClusterOptions{
+		TargetClusters: *k,
+		Inflation:      *inflation,
+		Seed:           *seed,
 	}
 
-	if *metisOut != "" {
-		f, err := os.Create(*metisOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := symcluster.WriteMetisGraph(f, u, 1000); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "symcluster: wrote METIS graph to %s\n", *metisOut)
-	}
-
-	// Local mode: one cluster around a seed, printed as a node list.
+	// Local mode: one cluster around a seed, printed as a node list. It
+	// always needs the symmetrized graph, whatever -algo says.
 	if *localSeed >= 0 {
+		u, err := sym.Run(context.Background(), g, opt)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := writeSideOutputs(stderr, u, *stats, *metisOut); err != nil {
+			return fail(stderr, err)
+		}
 		lres, err := symcluster.LocalCluster(u, *localSeed, symcluster.LocalClusterOptions{})
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Fprintf(os.Stderr, "symcluster: local cluster of %d nodes, conductance %.4f\n",
+		fmt.Fprintf(stderr, "symcluster: local cluster of %d nodes, conductance %.4f\n",
 			len(lres.Nodes), lres.Conductance)
-		w := bufio.NewWriter(os.Stdout)
+		w := bufio.NewWriter(stdout)
 		for _, n := range lres.Nodes {
 			fmt.Fprintln(w, n)
 		}
 		if err := w.Flush(); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		return
+		return 0
 	}
 
-	start = time.Now()
-	var res *symcluster.Clustering
-	switch *algo {
-	case "mcl", "metis", "graclus":
-		a, perr := server.ParseAlgorithm(*algo)
-		if perr != nil {
-			fatal(perr)
-		}
-		res, err = symcluster.Cluster(u, a, symcluster.ClusterOptions{
-			TargetClusters: *k,
-			Inflation:      *inflation,
-			Seed:           *seed,
-		})
-	case "spectral":
-		if *k <= 0 {
-			fatal(fmt.Errorf("spectral requires -k"))
-		}
-		res, err = symcluster.SpectralNCut(u, *k, *seed)
-	case "bestwcut":
-		if *k <= 0 {
-			fatal(fmt.Errorf("bestwcut requires -k"))
-		}
-		res, err = symcluster.BestWCut(g, *k, *seed) // directed baseline: ignores the symmetrization
-	case "zhou":
-		if *k <= 0 {
-			fatal(fmt.Errorf("zhou requires -k"))
-		}
-		res, err = symcluster.ZhouSpectral(g, *k, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "symcluster: unknown algorithm %q\n", *algo)
-		os.Exit(2)
-	}
+	res, u, trace, err := pipeline.Execute(context.Background(), g, sym, opt, cl, clOpt)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	clusterMillis := float64(time.Since(start)) / float64(time.Millisecond)
-	fmt.Fprintf(os.Stderr, "symcluster: clustered (%s) into %d clusters in %.2fs\n",
-		*algo, res.K, time.Since(start).Seconds())
+	if trace.Symmetrizer != "" {
+		fmt.Fprintf(stderr, "symcluster: symmetrized (%s) to %d undirected edges in %.2fs\n",
+			sym.Display(), u.M(), trace.SymmetrizeMillis/1000)
+	} else {
+		fmt.Fprintf(stderr, "symcluster: %s clusters the directed graph; symmetrize stage skipped\n",
+			cl.Display())
+	}
+	if u == nil && (*stats || *metisOut != "") {
+		// The side outputs describe the symmetrized graph, which the
+		// directed substrates never build; produce it just for them.
+		u2, serr := sym.Run(context.Background(), g, opt)
+		if serr != nil {
+			return fail(stderr, serr)
+		}
+		if err := writeSideOutputs(stderr, u2, *stats, *metisOut); err != nil {
+			return fail(stderr, err)
+		}
+	} else if err := writeSideOutputs(stderr, u, *stats, *metisOut); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stderr, "symcluster: clustered (%s) into %d clusters in %.2fs\n",
+		cl.Display(), res.K, trace.ClusterMillis/1000)
 
 	var avgF *float64
 	if *truthPath != "" {
 		f, err := os.Open(*truthPath)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		truth, err := symcluster.ReadGroundTruth(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		rep, err := symcluster.Evaluate(res.Assign, truth)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		avgF = &rep.AvgF
-		fmt.Fprintf(os.Stderr, "symcluster: Avg F-score = %.2f%%\n", 100*rep.AvgF)
+		fmt.Fprintf(stderr, "symcluster: Avg F-score = %.2f%%\n", 100*rep.AvgF)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	if *jsonOut {
-		// The same schema symclusterd serves from POST /v1/cluster, so
-		// scripted pipelines can swap between CLI and service.
-		enc := json.NewEncoder(w)
-		enc.SetEscapeHTML(false)
-		if err := enc.Encode(server.ClusterResponse{
-			Method:           strings.ToLower(*method),
-			Algorithm:        strings.ToLower(*algo),
-			Nodes:            u.N(),
-			UndirectedEdges:  u.M(),
+		// The same schema symclusterd serves from POST /v1/cluster, with
+		// the registry's canonical names, so scripted pipelines can swap
+		// between CLI and service.
+		resp := server.ClusterResponse{
+			Method:           trace.Symmetrizer,
+			Algorithm:        trace.Clusterer,
+			Nodes:            g.N(),
 			K:                res.K,
 			Assign:           res.Assign,
-			SymmetrizeMillis: symMillis,
-			ClusterMillis:    clusterMillis,
+			SymmetrizeMillis: trace.SymmetrizeMillis,
+			ClusterMillis:    trace.ClusterMillis,
+			Trace:            trace,
 			AvgF:             avgF,
-		}); err != nil {
-			fatal(err)
+		}
+		if u != nil {
+			resp.Nodes = u.N()
+			resp.UndirectedEdges = u.M()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(resp); err != nil {
+			return fail(stderr, err)
 		}
 	} else {
 		for _, c := range res.Assign {
@@ -200,11 +203,40 @@ func main() {
 		}
 	}
 	if err := w.Flush(); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "symcluster:", err)
-	os.Exit(1)
+// writeSideOutputs handles -stats and -metisout for a symmetrized
+// graph. A nil graph (directed bypass without those flags) is a no-op.
+func writeSideOutputs(stderr io.Writer, u *symcluster.UndirectedGraph, stats bool, metisOut string) error {
+	if u == nil {
+		return nil
+	}
+	if stats {
+		deg := u.Degrees()
+		fmt.Fprintf(stderr, "symcluster: degrees max=%d median=%d mean=%.1f singletons=%d\n",
+			graph.MaxDegree(deg), graph.MedianDegree(deg), graph.MeanDegree(deg), u.Singletons())
+	}
+	if metisOut != "" {
+		f, err := os.Create(metisOut)
+		if err != nil {
+			return err
+		}
+		if err := symcluster.WriteMetisGraph(f, u, 1000); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "symcluster: wrote METIS graph to %s\n", metisOut)
+	}
+	return nil
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "symcluster:", err)
+	return 1
 }

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"symcluster/internal/server"
+)
+
+// figure1Edges is the paper's Figure 1 example in the edge-list
+// interchange format, shared verbatim with the server tests.
+const figure1Edges = `# figure 1
+0 4
+0 5
+1 4
+1 5
+4 2
+4 3
+5 2
+5 3
+`
+
+// runCLI drives the CLI in-process with -json and decodes stdout.
+func runCLI(t *testing.T, args ...string) server.ClusterResponse {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d\nstderr: %s", args, code, stderr.String())
+	}
+	var resp server.ClusterResponse
+	if err := json.Unmarshal(stdout.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding CLI output %q: %v", stdout.String(), err)
+	}
+	return resp
+}
+
+// postCluster runs the same job through a live symclusterd.
+func postCluster(t *testing.T, ts *httptest.Server, graphID string, req server.ClusterRequest) server.ClusterResponse {
+	t.Helper()
+	req.GraphID = graphID
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/cluster", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/cluster: status %d", resp.StatusCode)
+	}
+	var out server.ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCLIServerParity is the golden parity check promised by the
+// registry refactor: for the same graph, method, algorithm, and seed,
+// `symcluster -json` and POST /v1/cluster return the same clustering
+// and the same canonical names — whichever alias either side was
+// given. Timing fields and server-only bookkeeping (graph id, cache
+// flag) are excluded by construction.
+func TestCLIServerParity(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "figure1.edges")
+	if err := os.WriteFile(edgePath, []byte(figure1Edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	resp, err := http.Post(ts.URL+"/v1/graphs", "text/plain", strings.NewReader(figure1Edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info server.GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cases := []struct {
+		name    string
+		cliArgs []string
+		req     server.ClusterRequest
+	}{
+		{
+			name:    "undirected mcl",
+			cliArgs: []string{"-in", edgePath, "-method", "dd", "-algo", "mcl", "-seed", "7", "-json"},
+			req:     server.ClusterRequest{Method: "dd", Algorithm: "mcl", Seed: 7},
+		},
+		{
+			name: "aliases canonicalise identically",
+			cliArgs: []string{"-in", edgePath, "-method", "degree-discounted",
+				"-algo", "mlrmcl", "-seed", "7", "-json"},
+			req: server.ClusterRequest{Method: "DegreeDiscounted", Algorithm: "MLR-MCL", Seed: 7},
+		},
+		{
+			name: "undirected spectral",
+			cliArgs: []string{"-in", edgePath, "-method", "aat", "-algo", "spectral",
+				"-k", "3", "-seed", "7", "-json"},
+			req: server.ClusterRequest{Method: "a+at", Algorithm: "ncut", K: 3, Seed: 7},
+		},
+		{
+			name: "directed bestwcut bypass",
+			cliArgs: []string{"-in", edgePath, "-algo", "bestwcut",
+				"-k", "3", "-seed", "7", "-json"},
+			req: server.ClusterRequest{Algorithm: "best-wcut", K: 3, Seed: 7},
+		},
+		{
+			name: "directed zhou bypass",
+			cliArgs: []string{"-in", edgePath, "-algo", "directed-laplacian",
+				"-k", "2", "-seed", "7", "-json"},
+			req: server.ClusterRequest{Algorithm: "zhou", K: 2, Seed: 7},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cli := runCLI(t, tc.cliArgs...)
+			srv := postCluster(t, ts, info.ID, tc.req)
+
+			if cli.Method != srv.Method || cli.Algorithm != srv.Algorithm {
+				t.Fatalf("names: CLI %q/%q vs server %q/%q",
+					cli.Method, cli.Algorithm, srv.Method, srv.Algorithm)
+			}
+			if cli.Nodes != srv.Nodes || cli.UndirectedEdges != srv.UndirectedEdges {
+				t.Fatalf("graph shape: CLI %d/%d vs server %d/%d",
+					cli.Nodes, cli.UndirectedEdges, srv.Nodes, srv.UndirectedEdges)
+			}
+			if cli.K != srv.K || !reflect.DeepEqual(cli.Assign, srv.Assign) {
+				t.Fatalf("clustering: CLI k=%d %v vs server k=%d %v",
+					cli.K, cli.Assign, srv.K, srv.Assign)
+			}
+			if cli.Trace == nil || srv.Trace == nil {
+				t.Fatalf("trace missing: CLI %+v server %+v", cli.Trace, srv.Trace)
+			}
+			if cli.Trace.Symmetrizer != srv.Trace.Symmetrizer ||
+				cli.Trace.Clusterer != srv.Trace.Clusterer ||
+				cli.Trace.SymmetrizedNNZ != srv.Trace.SymmetrizedNNZ {
+				t.Fatalf("trace: CLI %+v vs server %+v", cli.Trace, srv.Trace)
+			}
+		})
+	}
+}
+
+// TestCLIUnknownNamesExitTwo checks the usage-error exit code and the
+// dynamic valid-name listing for both stages.
+func TestCLIUnknownNamesExitTwo(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "figure1.edges")
+	if err := os.WriteFile(edgePath, []byte(figure1Edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for flagName, value := range map[string]string{"-method": "cosine", "-algo": "louvain"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-in", edgePath, flagName, value}, &stdout, &stderr)
+		if code != 2 {
+			t.Fatalf("%s %s: exit %d, want 2", flagName, value, code)
+		}
+		if !strings.Contains(stderr.String(), "valid:") {
+			t.Fatalf("%s %s: stderr %q does not list valid names", flagName, value, stderr.String())
+		}
+	}
+}

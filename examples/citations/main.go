@@ -40,10 +40,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-18s %10d %10.2f %8.2f\n", method, res.K, 100*rep.AvgF, time.Since(start).Seconds())
-		switch method {
-		case symcluster.DegreeDiscounted:
+		if method == symcluster.DegreeDiscounted {
 			ddAssign = res.Assign
-		case symcluster.AAT:
+		} else if method == symcluster.AAT {
 			aatAssign = res.Assign
 		}
 	}

@@ -136,12 +136,5 @@ func SuggestClusterCount(u *UndirectedGraph, minK, maxK int, seed int64) (int, e
 // SpectralNCut runs classic undirected spectral clustering (normalised
 // cut relaxation + k-means) on a symmetrized graph.
 func SpectralNCut(u *UndirectedGraph, k int, seed int64) (*Clustering, error) {
-	res, err := spectral.NormalizedCut(u.Adj, k, spectral.NormalizedCutOptions{
-		KMeans:  spectral.KMeansOptions{Seed: seed},
-		Lanczos: spectral.LanczosOptions{Seed: seed},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Clustering{Assign: res.Assign, K: res.K}, nil
+	return Cluster(u, Spectral, ClusterOptions{TargetClusters: k, Seed: seed})
 }

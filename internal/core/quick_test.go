@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -37,21 +38,17 @@ func (digraphGen) Generate(rng *rand.Rand, size int) reflect.Value {
 
 var quickCfg = &quick.Config{MaxCount: 150}
 
+// symmetrizeQuick runs one method's kernel with the paper defaults
+// (teleport 0.05, diagonal dropped), dispatching through the same
+// kernel map production code uses.
+func symmetrizeQuick(m Method, a *matrix.CSR) (*matrix.CSR, error) {
+	return kernels[m](context.Background(), a, Defaults())
+}
+
 func TestQuickAllMethodsSymmetric(t *testing.T) {
 	f := func(g digraphGen) bool {
 		for _, m := range Methods {
-			var u *matrix.CSR
-			var err error
-			switch m {
-			case AAT:
-				u = SymmetrizeAAT(g.A)
-			case RandomWalk:
-				u, err = SymmetrizeRandomWalk(g.A, 0.05)
-			case Bibliometric:
-				u = SymmetrizeBibliometric(g.A, Options{DropDiagonal: true})
-			case DegreeDiscounted:
-				u, err = SymmetrizeDegreeDiscounted(g.A, Defaults())
-			}
+			u, err := symmetrizeQuick(m, g.A)
 			if err != nil || !u.IsSymmetric(1e-9) {
 				return false
 			}
@@ -66,18 +63,7 @@ func TestQuickAllMethodsSymmetric(t *testing.T) {
 func TestQuickAllMethodsNonNegative(t *testing.T) {
 	f := func(g digraphGen) bool {
 		for _, m := range Methods {
-			var u *matrix.CSR
-			var err error
-			switch m {
-			case AAT:
-				u = SymmetrizeAAT(g.A)
-			case RandomWalk:
-				u, err = SymmetrizeRandomWalk(g.A, 0.05)
-			case Bibliometric:
-				u = SymmetrizeBibliometric(g.A, Options{DropDiagonal: true})
-			case DegreeDiscounted:
-				u, err = SymmetrizeDegreeDiscounted(g.A, Defaults())
-			}
+			u, err := symmetrizeQuick(m, g.A)
 			if err != nil {
 				return false
 			}

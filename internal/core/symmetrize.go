@@ -46,20 +46,22 @@ const (
 	DegreeDiscounted
 )
 
+// methodNames maps each method to the name used in the paper's
+// figures. Kept as data (not a switch) so the catalog of methods is
+// owned by internal/pipeline's registry; this file only wires kernels.
+var methodNames = map[Method]string{
+	AAT:              "A+A'",
+	RandomWalk:       "RandomWalk",
+	Bibliometric:     "Bibliometric",
+	DegreeDiscounted: "DegreeDiscounted",
+}
+
 // String returns the method's name as used in the paper's figures.
 func (m Method) String() string {
-	switch m {
-	case AAT:
-		return "A+A'"
-	case RandomWalk:
-		return "RandomWalk"
-	case Bibliometric:
-		return "Bibliometric"
-	case DegreeDiscounted:
-		return "DegreeDiscounted"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
+	if name, ok := methodNames[m]; ok {
+		return name
 	}
+	return fmt.Sprintf("Method(%d)", int(m))
 }
 
 // Methods lists all symmetrizations in the order the paper's plots use.
@@ -150,24 +152,29 @@ func SymmetrizeCtx(ctx context.Context, g *graph.Directed, method Method, opt Op
 	if err := faultinject.Fire("core.symmetrize"); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	var u *matrix.CSR
-	var err error
-	switch method {
-	case AAT:
-		u = SymmetrizeAAT(g.Adj)
-	case RandomWalk:
-		u, err = SymmetrizeRandomWalkCtx(ctx, g.Adj, opt.Teleport)
-	case Bibliometric:
-		u, err = SymmetrizeBibliometricCtx(ctx, g.Adj, opt)
-	case DegreeDiscounted:
-		u, err = SymmetrizeDegreeDiscountedCtx(ctx, g.Adj, opt)
-	default:
+	kernel, ok := kernels[method]
+	if !ok {
 		return nil, fmt.Errorf("core: unknown symmetrization method %v", method)
 	}
+	u, err := kernel(ctx, g.Adj, opt)
 	if err != nil {
 		return nil, err
 	}
 	return &graph.Undirected{Adj: u, Labels: g.Labels}, nil
+}
+
+// kernels maps each method to its math kernel. The kernel wiring lives
+// here next to the kernels; everything catalog-shaped (names, aliases,
+// validation, cost models) lives in internal/pipeline.
+var kernels = map[Method]func(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error){
+	AAT: func(_ context.Context, a *matrix.CSR, _ Options) (*matrix.CSR, error) {
+		return SymmetrizeAAT(a), nil
+	},
+	RandomWalk: func(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
+		return SymmetrizeRandomWalkCtx(ctx, a, opt.Teleport)
+	},
+	Bibliometric:     SymmetrizeBibliometricCtx,
+	DegreeDiscounted: SymmetrizeDegreeDiscountedCtx,
 }
 
 // SymmetrizeAAT returns U = A + Aᵀ (§3.1).

@@ -96,8 +96,7 @@ func symOptionsFor(method core.Method, ds *gen.Dataset) core.Options {
 		return opt
 	}
 	n := ds.Graph.N()
-	switch method {
-	case core.Bibliometric:
+	if method == core.Bibliometric {
 		// Integer shared-link-count threshold: keep pairs sharing at
 		// least two links. Without a threshold the product graph is two
 		// orders denser than A+Aᵀ (Table 2); with it, hub-adjacent rows
@@ -107,7 +106,7 @@ func symOptionsFor(method core.Method, ds *gen.Dataset) core.Options {
 		if n > 5000 {
 			opt.Threshold = 3
 		}
-	case core.DegreeDiscounted:
+	} else if method == core.DegreeDiscounted {
 		// Degree-discounted weights concentrate around
 		// 1/(√d_o·√d_o'·√d_i); the thresholds below cut hub-mediated
 		// pairs while keeping cluster-internal similarities, mirroring

@@ -307,10 +307,9 @@ func TestSpamProbe(t *testing.T) {
 	}
 	var bib, dd int
 	for _, r := range rows {
-		switch r.Method {
-		case core.Bibliometric:
+		if r.Method == core.Bibliometric {
 			bib = r.SpamAmongTop
-		case core.DegreeDiscounted:
+		} else if r.Method == core.DegreeDiscounted {
 			dd = r.SpamAmongTop
 		}
 	}

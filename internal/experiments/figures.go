@@ -1,104 +1,66 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"symcluster/internal/core"
 	"symcluster/internal/eval"
 	"symcluster/internal/gen"
-	"symcluster/internal/graclus"
 	"symcluster/internal/graph"
-	"symcluster/internal/mcl"
-	"symcluster/internal/metis"
+	"symcluster/internal/pipeline"
 	"symcluster/internal/spectral"
 )
 
-// Algo identifies a clustering substrate within the experiments.
-type Algo int
+// Algo identifies a clustering substrate within the experiments. It is
+// the pipeline registry's identifier, so sweeps dispatch and label
+// through the registry.
+type Algo = pipeline.Algorithm
 
 // The substrates compared across the figures.
 const (
-	AlgoMLRMCL Algo = iota
-	AlgoMetis
-	AlgoGraclus
-	AlgoBestWCut
+	AlgoMLRMCL   = pipeline.MLRMCL
+	AlgoMetis    = pipeline.Metis
+	AlgoGraclus  = pipeline.Graclus
+	AlgoBestWCut = pipeline.BestWCut
 )
 
-// String names the substrate as in the paper's legends.
-func (a Algo) String() string {
-	switch a {
-	case AlgoMLRMCL:
-		return "MLR-MCL"
-	case AlgoMetis:
-		return "Metis"
-	case AlgoGraclus:
-		return "Graclus"
-	case AlgoBestWCut:
-		return "BestWCut"
-	default:
-		return fmt.Sprintf("Algo(%d)", int(a))
-	}
-}
-
 // clusterResult is the common output of the substrates.
-type clusterResult struct {
-	Assign []int
-	K      int
+type clusterResult = pipeline.Result
+
+// expOptions are the experiments' historical MCL settings (30
+// iterations, 1e-3 tolerance — faster than the library defaults, same
+// quality on the synthetic datasets).
+func expOptions(target int, inflation float64, seed int64) pipeline.ClusterOptions {
+	return pipeline.ClusterOptions{
+		TargetClusters: target,
+		Inflation:      inflation,
+		Seed:           seed,
+		MCLMaxIter:     30,
+		MCLTolerance:   1e-3,
+	}
 }
 
-// clusterWith dispatches to a substrate at a target cluster count.
-// MLR-MCL approximates the target through its inflation parameter.
+// clusterWith dispatches through the registry to a substrate at a
+// target cluster count. MLR-MCL approximates the target through its
+// inflation parameter.
 func clusterWith(u *graph.Undirected, algo Algo, target int, seed int64) (*clusterResult, error) {
-	switch algo {
-	case AlgoMLRMCL:
-		res, err := mcl.Cluster(u.Adj, mcl.Options{
-			Inflation:      inflationFor(u.N(), target),
-			Multilevel:     u.N() > 5000,
-			MaxIter:        30,
-			MaxPerColumn:   30,
-			ConvergenceTol: 1e-3,
-			Seed:           seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &clusterResult{Assign: res.Assign, K: res.K}, nil
-	case AlgoMetis:
-		res, err := metis.Partition(u.Adj, target, metis.Options{Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		return &clusterResult{Assign: res.Assign, K: res.K}, nil
-	case AlgoGraclus:
-		res, err := graclus.Cluster(u.Adj, target, graclus.Options{Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		return &clusterResult{Assign: res.Assign, K: res.K}, nil
-	default:
-		return nil, fmt.Errorf("experiments: clusterWith does not handle %v", algo)
+	cl, err := pipeline.ClustererFor(algo)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	return cl.Run(context.Background(), pipeline.Input{U: u}, expOptions(target, 0, seed))
 }
 
-// inflationFor maps a target cluster count to an MLR-MCL inflation.
-func inflationFor(n, target int) float64 {
-	if target <= 0 || n <= 0 {
-		return 2.0
+// clusterAtInflation runs MLR-MCL from the registry at an explicit
+// inflation (the granularity sweeps of Figures 5/7/9).
+func clusterAtInflation(u *graph.Undirected, inflation float64, seed int64) (*clusterResult, error) {
+	cl, err := pipeline.ClustererFor(AlgoMLRMCL)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	ratio := float64(target) / float64(n)
-	switch {
-	case ratio <= 0.002:
-		return 1.2
-	case ratio <= 0.01:
-		return 1.5
-	case ratio <= 0.03:
-		return 2.0
-	case ratio <= 0.08:
-		return 2.5
-	default:
-		return 3.0
-	}
+	return cl.Run(context.Background(), pipeline.Input{U: u}, expOptions(0, inflation, seed))
 }
 
 // FPoint is one point of an effectiveness/timing series.
@@ -152,14 +114,7 @@ func SymmetrizationSweep(ds *gen.Dataset, algo Algo, methods []core.Method, targ
 			}
 			for _, inf := range ladder {
 				start := time.Now()
-				res, err := mcl.Cluster(u.Adj, mcl.Options{
-					Inflation:      inf,
-					Multilevel:     u.N() > 5000,
-					MaxIter:        30,
-					MaxPerColumn:   30,
-					ConvergenceTol: 1e-3,
-					Seed:           seed,
-				})
+				res, err := clusterAtInflation(u, inf, seed)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: sweep %s/%v r=%v: %w", ds.Name, m, inf, err)
 				}

@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"symcluster/internal/core"
+	"symcluster/internal/graph"
+)
+
+// symEntry implements Symmetrizer from plain data plus a cost model.
+// Dispatch to the math kernels goes through core.SymmetrizeCtx, so the
+// kernel wiring stays next to the kernels while this registry owns
+// names, validation, and admission bounds.
+type symEntry struct {
+	method   core.Method
+	name     string
+	aliases  []string
+	display  string
+	describe string
+	validate func(SymOptions) error
+	cost     func(GraphStats) int64
+}
+
+func (e *symEntry) Method() core.Method { return e.method }
+func (e *symEntry) Name() string        { return e.name }
+func (e *symEntry) Aliases() []string   { return append([]string(nil), e.aliases...) }
+func (e *symEntry) Display() string     { return e.display }
+func (e *symEntry) Describe() string    { return e.describe }
+
+func (e *symEntry) Validate(opt SymOptions) error {
+	if err := validateSymCommon(opt); err != nil {
+		return err
+	}
+	if e.validate != nil {
+		return e.validate(opt)
+	}
+	return nil
+}
+
+func (e *symEntry) Run(ctx context.Context, g *graph.Directed, opt SymOptions) (*graph.Undirected, error) {
+	if err := e.Validate(opt); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.name, err)
+	}
+	return core.SymmetrizeCtx(ctx, g, e.method, opt)
+}
+
+func (e *symEntry) CostModel(gs GraphStats) int64 { return e.cost(gs) }
+
+// validateSymCommon checks the option ranges shared by every
+// symmetrization. Fields a method ignores are still range-checked, so
+// a nonsense request is rejected identically whichever method it names.
+func validateSymCommon(opt SymOptions) error {
+	if opt.Alpha < 0 || opt.Alpha > 1 || opt.Beta < 0 || opt.Beta > 1 {
+		return fmt.Errorf("alpha and beta must lie in [0, 1] (got α=%v β=%v)", opt.Alpha, opt.Beta)
+	}
+	if opt.Threshold < 0 {
+		return fmt.Errorf("threshold must be non-negative (got %v)", opt.Threshold)
+	}
+	if opt.Teleport < 0 || opt.Teleport >= 1 {
+		return fmt.Errorf("teleport must lie in [0, 1) (got %v)", opt.Teleport)
+	}
+	return nil
+}
+
+// csrBytes is the resident size of an n-row CSR matrix with nnz
+// entries: an (n+1)-element int64 row-pointer array plus an int32
+// column index and a float64 value per entry.
+func csrBytes(n int, nnz int64) int64 {
+	return 8*int64(n+1) + 12*nnz
+}
+
+// The symmetrizer cost models are deliberate upper bounds, expressed
+// in CSR bytes (the dominant allocation of every method). For the
+// product-based symmetrizations the output nonzero count is bounded by
+// the SpGEMM flop counts in GraphStats, capped at the dense n².
+// Pruning only shrinks the true working set, so an admitted request is
+// safe and a rejected one reports the worst case it could have
+// reached.
+
+// productSymBytes bounds Bibliometric and DegreeDiscounted: both
+// products live at once while they are summed, and the sum is bounded
+// by their combined size. DegreeDiscounted only rescales the factors,
+// so its sparsity bound matches Bibliometric's.
+func productSymBytes(gs GraphStats) int64 {
+	dense := int64(gs.Nodes) * int64(gs.Nodes)
+	coupling := minInt64(gs.CouplingFlops, dense)
+	cocit := minInt64(gs.CocitFlops, dense)
+	total := minInt64(coupling+cocit, dense)
+	return csrBytes(gs.Nodes, coupling) + csrBytes(gs.Nodes, cocit) + csrBytes(gs.Nodes, total)
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// symRegistry holds the four symmetrizations of the paper in its
+// plots' order. To add a fifth, append an entry here (and its kernel
+// in internal/core): every consumer — flag help, HTTP parsing,
+// admission control, experiment sweeps, docs tests — picks it up from
+// the registry.
+var symRegistry = []Symmetrizer{
+	&symEntry{
+		method:   core.DegreeDiscounted,
+		name:     "dd",
+		aliases:  []string{"degree-discounted", "degreediscounted"},
+		display:  "DegreeDiscounted",
+		describe: "degree-discounted bibliometric similarity, the paper's proposal (§3.4)",
+		cost:     productSymBytes,
+	},
+	&symEntry{
+		method:   core.Bibliometric,
+		name:     "bib",
+		aliases:  []string{"bibliometric", "bibcoupling"},
+		display:  "Bibliometric",
+		describe: "U = AAᵀ + AᵀA, bibliographic coupling + co-citation (§3.3)",
+		cost:     productSymBytes,
+	},
+	&symEntry{
+		method:   core.AAT,
+		name:     "aat",
+		aliases:  []string{"a+at", "sum"},
+		display:  "A+A'",
+		describe: "U = A + Aᵀ, the implicit baseline (§3.1)",
+		cost: func(gs GraphStats) int64 {
+			// U = A + Aᵀ: at most 2·nnz entries.
+			return csrBytes(gs.Nodes, 2*gs.Edges)
+		},
+	},
+	&symEntry{
+		method:   core.RandomWalk,
+		name:     "rw",
+		aliases:  []string{"random-walk", "randomwalk"},
+		display:  "RandomWalk",
+		describe: "U = (ΠP + PᵀΠ)/2 under the teleported random walk (§3.2)",
+		cost: func(gs GraphStats) int64 {
+			// Transition matrix + (ΠP + PᵀΠ)/2 (same structure as
+			// A + Aᵀ) plus a handful of n-length iteration vectors.
+			return csrBytes(gs.Nodes, gs.Edges) + csrBytes(gs.Nodes, 2*gs.Edges) + 32*int64(gs.Nodes)
+		},
+	},
+}

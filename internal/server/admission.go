@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
-	symcluster "symcluster"
+	"symcluster/internal/pipeline"
 )
 
 // Admission control: before a clustering request is queued, its working
@@ -12,102 +12,35 @@ import (
 // requests whose estimate exceeds Config.MaxJobBytes are rejected with
 // 413 instead of being allowed to exhaust the process.
 //
-// The estimates are deliberate upper bounds. The dominant allocation of
-// every method is sparse-matrix storage, so sizes are expressed in CSR
-// bytes; for the product-based symmetrizations (Bibliometric and
-// DegreeDiscounted) the output nonzero count is bounded by the SpGEMM
-// flop count — Σ_j colCount(j)² for AAᵀ and Σ_i rowCount(i)² for AᵀA —
-// capped at the dense n². Pruning (Threshold > 0) only shrinks the true
-// working set, so a request admitted by the bound is safe and a
-// rejected request reports the worst case it could have reached.
+// The byte estimates come from the pipeline registry's per-stage cost
+// models (Symmetrizer.CostModel + Clusterer.CostModel), so a newly
+// registered stage carries its admission bound with it and this file
+// never needs to know the catalog. Directed-input substrates skip the
+// symmetrizer's share. The models are deliberate upper bounds: an
+// admitted request is safe, and a rejected one reports the worst case
+// it could have reached.
 
-// csrBytes is the resident size of an n-row CSR matrix with nnz
-// entries: an (n+1)-element int64 row-pointer array plus an int32
-// column index and a float64 value per entry.
-func csrBytes(n int, nnz int64) int64 {
-	return 8*int64(n+1) + 12*nnz
-}
-
-// productFlops returns the SpGEMM flop bounds for the two self-products
-// of the bibliometric family: coupling = Σ_j colCount(j)² bounds
-// nnz(AAᵀ), cocitation = Σ_i rowCount(i)² bounds nnz(AᵀA). Both are
-// additionally capped at n² by the caller.
-func productFlops(m *symcluster.Matrix) (coupling, cocitation int64) {
-	for _, c := range m.ColCounts() {
-		coupling += int64(c) * int64(c)
-	}
-	for _, r := range m.RowCounts() {
-		cocitation += int64(r) * int64(r)
-	}
-	return coupling, cocitation
-}
-
-// minInt64 avoids pulling in generics helpers for one comparison.
-func minInt64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// estimateJobBytes bounds the peak extra memory a clustering run may
-// allocate: the symmetrized graph (per-method, see package comment)
-// plus the clustering substrate's working state.
-func estimateJobBytes(rg *registeredGraph, method symcluster.SymMethod, algo symcluster.Algorithm) int64 {
-	n := rg.info.Nodes
-	nnz := int64(rg.info.Edges)
-	dense := int64(n) * int64(n)
-
-	var symBytes int64
-	switch method {
-	case symcluster.AAT:
-		// U = A + Aᵀ: at most 2·nnz entries.
-		symBytes = csrBytes(n, 2*nnz)
-	case symcluster.RandomWalk:
-		// Transition matrix + (ΠP + PᵀΠ)/2 (same structure as A + Aᵀ)
-		// plus a handful of n-length iteration vectors.
-		symBytes = csrBytes(n, nnz) + csrBytes(n, 2*nnz) + 32*int64(n)
-	case symcluster.Bibliometric, symcluster.DegreeDiscounted:
-		// Both products live at once while they are summed; the sum is
-		// bounded by their combined size. DegreeDiscounted only rescales
-		// the factors, so its sparsity bound matches Bibliometric's.
-		coupling := minInt64(rg.couplingFlops, dense)
-		cocit := minInt64(rg.cocitFlops, dense)
-		total := minInt64(coupling+cocit, dense)
-		symBytes = csrBytes(n, coupling) + csrBytes(n, cocit) + csrBytes(n, total)
-	default:
-		symBytes = csrBytes(n, 2*nnz)
-	}
-
-	var clusterBytes int64
-	switch algo {
-	case symcluster.MLRMCL:
-		// The pruned MCL flow matrix holds at most MaxPerColumn (30)
-		// entries per column, doubled for the in-progress expansion.
-		clusterBytes = 2 * csrBytes(n, 30*int64(n))
-	default:
-		// Metis/Graclus coarsening hierarchies sum to at most ~2× the
-		// input graph across geometrically shrinking levels.
-		clusterBytes = 2 * csrBytes(n, 2*nnz)
-	}
-	return symBytes + clusterBytes
-}
-
-// admit applies the byte budget to one validated request. A nil return
-// admits the job; otherwise the error is a 413 apiError carrying the
-// estimate so clients can see how far over budget the request was.
-func (s *Server) admit(rg *registeredGraph, method symcluster.SymMethod, algo symcluster.Algorithm) error {
+// admit applies the byte budget to one validated request. sym is nil
+// when the substrate clusters the directed graph directly. A nil
+// return admits the job; otherwise the error is a 413 apiError
+// carrying the estimate so clients can see how far over budget the
+// request was.
+func (s *Server) admit(rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, k int) error {
 	if s.cfg.MaxJobBytes <= 0 {
 		return nil
 	}
-	est := estimateJobBytes(rg, method, algo)
+	est := pipeline.EstimateJobBytes(sym, cl, rg.stats.WithK(k))
 	if est <= s.cfg.MaxJobBytes {
 		return nil
 	}
 	s.metrics.IncAdmissionRejected()
+	stage := cl.Name()
+	if sym != nil && !cl.AcceptsDirected() {
+		stage = sym.Name() + "+" + stage
+	}
 	return &apiError{
 		code: http.StatusRequestEntityTooLarge,
-		err: fmt.Errorf("estimated working set %d bytes exceeds job budget %d bytes (method %q over %d nodes / %d edges); raise -max-job-mb or prune the graph",
-			est, s.cfg.MaxJobBytes, method, rg.info.Nodes, rg.info.Edges),
+		err: fmt.Errorf("estimated working set %d bytes exceeds job budget %d bytes (%s over %d nodes / %d edges); raise -max-job-mb or prune the graph",
+			est, s.cfg.MaxJobBytes, stage, rg.info.Nodes, rg.info.Edges),
 	}
 }

@@ -21,24 +21,26 @@
 package server
 
 import (
-	"fmt"
-	"strings"
-
 	symcluster "symcluster"
 )
 
 // ClusterRequest is the body of POST /v1/cluster. Method and Algorithm
-// use the same short names as the symcluster CLI flags.
+// use the same names as the symcluster CLI flags: any canonical name
+// or alias registered in the pipeline registry, case-insensitively.
 type ClusterRequest struct {
 	// GraphID identifies a graph previously registered via
 	// POST /v1/graphs.
 	GraphID string `json:"graph_id"`
-	// Method is the symmetrization: "dd", "bib", "aat" or "rw".
-	Method string `json:"method"`
-	// Algorithm is the clustering substrate: "mcl", "metis" or
-	// "graclus".
+	// Method is the symmetrization ("dd", "bib", "aat", "rw", or a
+	// long-form alias such as "degree-discounted"). Ignored — and may
+	// be empty — for algorithms that cluster the directed graph
+	// directly (bestwcut, zhou).
+	Method string `json:"method,omitempty"`
+	// Algorithm is the clustering substrate ("mcl", "metis",
+	// "graclus", "spectral", "bestwcut", "zhou", or an alias).
 	Algorithm string `json:"algorithm"`
-	// K is the target cluster count (required for metis/graclus).
+	// K is the target cluster count (required by every substrate
+	// except mcl).
 	K int `json:"k,omitempty"`
 	// Alpha and Beta are the degree-discount exponents (dd only);
 	// both default to 0.5 when omitted.
@@ -59,11 +61,14 @@ type ClusterRequest struct {
 // synchronous POST /v1/cluster, the Result of a finished job, and the
 // schema cmd/symcluster -json emits.
 type ClusterResponse struct {
-	GraphID   string `json:"graph_id,omitempty"`
-	Method    string `json:"method"`
+	GraphID string `json:"graph_id,omitempty"`
+	// Method is the canonical name of the symmetrization that ran;
+	// empty when the algorithm clustered the directed graph directly.
+	Method    string `json:"method,omitempty"`
 	Algorithm string `json:"algorithm"`
 	// Nodes and UndirectedEdges describe the symmetrized graph the
-	// substrate ran on.
+	// substrate ran on; for directed-input algorithms Nodes is the
+	// directed graph's node count and UndirectedEdges is 0.
 	Nodes           int `json:"nodes"`
 	UndirectedEdges int `json:"undirected_edges"`
 	// K is the number of clusters found; Assign maps node → cluster.
@@ -75,6 +80,9 @@ type ClusterResponse struct {
 	// SymmetrizeMillis and ClusterMillis are wall-clock stage times.
 	SymmetrizeMillis float64 `json:"symmetrize_millis"`
 	ClusterMillis    float64 `json:"cluster_millis"`
+	// Trace is the registry's per-stage trace: canonical stage names,
+	// wall-clock timings, and the symmetrized edge count.
+	Trace *symcluster.StageTrace `json:"trace,omitempty"`
 	// AvgF is the micro-averaged best-match F-score against ground
 	// truth, present only when truth is known (CLI -truth flag).
 	AvgF *float64 `json:"avg_f,omitempty"`
@@ -114,34 +122,16 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// ParseMethod maps the wire name of a symmetrization ("dd", "bib",
-// "aat", "rw") to the library constant.
+// ParseMethod maps the wire name or any registered alias of a
+// symmetrization to the library constant. Unknown names yield an error
+// listing the valid set, generated from the pipeline registry.
 func ParseMethod(name string) (symcluster.SymMethod, error) {
-	switch strings.ToLower(name) {
-	case "dd":
-		return symcluster.DegreeDiscounted, nil
-	case "bib":
-		return symcluster.Bibliometric, nil
-	case "aat":
-		return symcluster.AAT, nil
-	case "rw":
-		return symcluster.RandomWalk, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q (want dd, bib, aat or rw)", name)
-	}
+	return symcluster.ParseMethod(name)
 }
 
-// ParseAlgorithm maps the wire name of a substrate ("mcl", "metis",
-// "graclus") to the library constant.
+// ParseAlgorithm maps the wire name or any registered alias of a
+// substrate to the library constant. Unknown names yield an error
+// listing the valid set, generated from the pipeline registry.
 func ParseAlgorithm(name string) (symcluster.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "mcl":
-		return symcluster.MLRMCL, nil
-	case "metis":
-		return symcluster.Metis, nil
-	case "graclus":
-		return symcluster.Graclus, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want mcl, metis or graclus)", name)
-	}
+	return symcluster.ParseAlgorithm(name)
 }

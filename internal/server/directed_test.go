@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"symcluster/internal/faultinject"
+)
+
+// TestSpectralAlgorithmsOverHTTP brings the registry's full algorithm
+// catalog to the wire: the spectral substrate (undirected, needs a
+// method) and the two directed baselines (bestwcut, zhou) all serve
+// through POST /v1/cluster.
+func TestSpectralAlgorithmsOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	info := registerFigure1(t, ts)
+
+	t.Run("spectral needs a method", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+			GraphID: info.ID, Method: "dd", Algorithm: "spectral", K: 3, Seed: 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		res := decode[ClusterResponse](t, resp)
+		if res.Method != "dd" || res.Algorithm != "spectral" || res.K != 3 {
+			t.Fatalf("response = %+v", res)
+		}
+		if res.Trace == nil || res.Trace.Symmetrizer != "dd" || res.Trace.Clusterer != "spectral" {
+			t.Fatalf("trace = %+v", res.Trace)
+		}
+		if res.Trace.SymmetrizedNNZ == 0 {
+			t.Fatal("trace missing symmetrized nnz")
+		}
+	})
+
+	for _, algo := range []string{"bestwcut", "zhou"} {
+		t.Run(algo+" bypasses symmetrization", func(t *testing.T) {
+			// Method deliberately omitted: directed baselines consume
+			// the graph as-is.
+			resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+				GraphID: info.ID, Algorithm: algo, K: 3, Seed: 1,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, want 200", resp.StatusCode)
+			}
+			res := decode[ClusterResponse](t, resp)
+			if res.Method != "" || res.Algorithm != algo {
+				t.Fatalf("response = %+v", res)
+			}
+			if res.Nodes != 6 || res.UndirectedEdges != 0 || res.CacheHit {
+				t.Fatalf("bypass fields: nodes=%d edges=%d cacheHit=%v",
+					res.Nodes, res.UndirectedEdges, res.CacheHit)
+			}
+			if len(res.Assign) != 6 || res.K != 3 {
+				t.Fatalf("assign=%v k=%d", res.Assign, res.K)
+			}
+			if res.Trace == nil || res.Trace.Symmetrizer != "" || res.Trace.SymmetrizedNNZ != 0 ||
+				res.Trace.Clusterer != algo {
+				t.Fatalf("trace = %+v", res.Trace)
+			}
+		})
+	}
+
+	t.Run("directed algo with explicit method still validates it", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+			GraphID: info.ID, Method: "nope", Algorithm: "zhou", K: 2, Seed: 1,
+		})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("k is required", func(t *testing.T) {
+		for _, algo := range []string{"spectral", "bestwcut", "zhou"} {
+			resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+				GraphID: info.ID, Method: "dd", Algorithm: algo, Seed: 1,
+			})
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s without k: status = %d, want 400", algo, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("aliases resolve to the canonical name", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+			GraphID: info.ID, Method: "degree-discounted", Algorithm: "spectral-ncut", K: 3, Seed: 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		res := decode[ClusterResponse](t, resp)
+		if res.Method != "dd" || res.Algorithm != "spectral" {
+			t.Fatalf("aliases not canonicalised: %+v", res)
+		}
+	})
+}
+
+// TestStageMetricsExposed checks the per-stage timing summaries reach
+// /metrics with the canonical stage and name labels.
+func TestStageMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	info := registerFigure1(t, ts)
+	resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+		GraphID: info.ID, Method: "dd", Algorithm: "mcl", Seed: 1,
+	})
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+		GraphID: info.ID, Algorithm: "bestwcut", K: 2, Seed: 1,
+	})
+	resp.Body.Close()
+
+	metrics := fetchMetrics(t, ts)
+	for _, want := range []string{
+		`symclusterd_stage_seconds_count{stage="symmetrize",name="dd"} 1`,
+		`symclusterd_stage_seconds_count{stage="cluster",name="mcl"} 1`,
+		`symclusterd_stage_seconds_count{stage="cluster",name="bestwcut"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestSpectralKernelFaultFailsRequestNotDaemon arms the Lanczos fault
+// site: an injected eigensolver error surfaces as 500 on the new
+// directed endpoints, and the daemon serves the same request once the
+// fault is cleared.
+func TestSpectralKernelFaultFailsRequestNotDaemon(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, Config{Workers: 1})
+	info := registerFigure1(t, ts)
+	req := ClusterRequest{GraphID: info.ID, Algorithm: "zhou", K: 2, Seed: 1}
+
+	faultinject.Set("spectral.lanczos", faultinject.Fault{Mode: faultinject.Error})
+	resp := postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if apiErr := decode[ErrorResponse](t, resp); !strings.Contains(apiErr.Error, "injected") {
+		t.Fatalf("error %q does not name the injected fault", apiErr.Error)
+	}
+
+	faultinject.Reset()
+	resp = postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after recovery = %d, want 200", resp.StatusCode)
+	}
+	if res := decode[ClusterResponse](t, resp); len(res.Assign) != 6 {
+		t.Fatalf("assign = %v", res.Assign)
+	}
+}
+
+// TestCancellationReleasesWorkerMidSpectralRun mirrors the MCL
+// cancellation chaos test for the directed spectral path: a stalled
+// Lanczos step keeps the kernel mid-run while the client disconnects,
+// and the worker must come back.
+func TestCancellationReleasesWorkerMidSpectralRun(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	info := s.RegisterGraph(mustFigure1Graph(t))
+	faultinject.Set("spectral.lanczos", faultinject.Fault{Mode: faultinject.Delay, Delay: 200 * time.Millisecond})
+
+	body, _ := json.Marshal(ClusterRequest{GraphID: info.ID, Algorithm: "bestwcut", K: 2, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("POST", "/v1/cluster", strings.NewReader(string(body))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+
+	waitFor(t, 5*time.Second, "kernel running", func() bool {
+		return s.pool.Busy() == 1 && faultinject.Hits("spectral.lanczos") > 0
+	})
+	cancel()
+
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not return after cancellation")
+	}
+	if rec.Code != 499 {
+		t.Fatalf("status = %d, want 499", rec.Code)
+	}
+	waitFor(t, 2*time.Second, "worker released", func() bool { return s.pool.Busy() == 0 })
+}

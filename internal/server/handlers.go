@@ -10,6 +10,7 @@ import (
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/pipeline"
 )
 
 // apiError carries an HTTP status through the run path so handlers can
@@ -166,9 +167,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res.(*ClusterResponse))
 }
 
-// prepareRun validates a ClusterRequest against the registry and
-// returns the closure that executes it. Validation happens before the
-// request is queued so bad input never occupies a worker.
+// prepareRun validates a ClusterRequest against the pipeline registry
+// and returns the closure that executes it. Validation happens before
+// the request is queued so bad input never occupies a worker.
 func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*ClusterResponse, error), error) {
 	if req.GraphID == "" {
 		return nil, badRequest("graph_id is required")
@@ -177,35 +178,32 @@ func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*Cl
 	if !ok {
 		return nil, &apiError{code: http.StatusNotFound, err: fmt.Errorf("unknown graph %q", req.GraphID)}
 	}
-	method, err := ParseMethod(req.Method)
+	cl, err := pipeline.LookupClusterer(req.Algorithm)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	algo, err := ParseAlgorithm(req.Algorithm)
-	if err != nil {
-		return nil, badRequest("%v", err)
+	// Directed-input substrates bypass symmetrization: method becomes
+	// optional, but a method that is given must still be a real one.
+	var sym pipeline.Symmetrizer
+	if req.Method != "" || !cl.AcceptsDirected() {
+		sym, err = pipeline.LookupSymmetrizer(req.Method)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
 	}
-	if (algo == symcluster.Metis || algo == symcluster.Graclus) && req.K < 1 {
-		return nil, badRequest("algorithm %q requires k >= 1", req.Algorithm)
-	}
-	if req.K < 0 {
-		return nil, badRequest("k must be non-negative")
+	if cl.AcceptsDirected() {
+		sym = nil
 	}
 	if req.K > rg.info.Nodes {
 		return nil, badRequest("k=%d exceeds %d nodes", req.K, rg.info.Nodes)
 	}
-	if (req.Alpha != nil && (*req.Alpha < 0 || *req.Alpha > 1)) ||
-		(req.Beta != nil && (*req.Beta < 0 || *req.Beta > 1)) {
-		return nil, badRequest("alpha and beta must lie in [0, 1]")
+	clOpt := symcluster.ClusterOptions{
+		TargetClusters: req.K,
+		Inflation:      req.Inflation,
+		Seed:           req.Seed,
 	}
-	if req.Threshold < 0 {
-		return nil, badRequest("threshold must be non-negative")
-	}
-	if req.Inflation != 0 && req.Inflation <= 1 {
-		return nil, badRequest("inflation must be > 1")
-	}
-	if err := s.admit(rg, method, algo); err != nil {
-		return nil, err
+	if err := cl.Validate(clOpt); err != nil {
+		return nil, badRequest("%v", err)
 	}
 
 	opt := symcluster.DefaultSymmetrizeOptions()
@@ -216,64 +214,85 @@ func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*Cl
 		opt.Beta = *req.Beta
 	}
 	opt.Threshold = req.Threshold
+	if sym != nil {
+		if err := sym.Validate(opt); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	if err := s.admit(rg, sym, cl, req.K); err != nil {
+		return nil, err
+	}
 
 	runner := func(ctx context.Context) (*ClusterResponse, error) {
-		return s.runCluster(ctx, rg, req, method, algo, opt)
+		return s.runCluster(ctx, rg, sym, cl, opt, clOpt)
 	}
 	return runner, nil
 }
 
 // runCluster executes the two-stage pipeline for one request, serving
-// the symmetrization from cache when an identical product exists. It
+// the symmetrization from cache when an identical product exists
+// (directed-input substrates skip both the stage and the cache). It
 // runs on a pool worker; the context is threaded into both stages,
 // whose kernels poll it at iteration and row-block boundaries, so a
 // client disconnect or timeout frees the worker within one block of
 // kernel work.
-func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, req *ClusterRequest, method symcluster.SymMethod, algo symcluster.Algorithm, opt symcluster.SymmetrizeOptions) (*ClusterResponse, error) {
+func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, opt symcluster.SymmetrizeOptions, clOpt symcluster.ClusterOptions) (*ClusterResponse, error) {
 	resp := &ClusterResponse{
 		GraphID:   rg.info.ID,
-		Method:    strings.ToLower(req.Method),
-		Algorithm: strings.ToLower(req.Algorithm),
+		Algorithm: cl.Name(),
 	}
+	trace := &symcluster.StageTrace{Clusterer: cl.Name()}
+	in := pipeline.Input{G: rg.graph}
 
-	key := CacheKey{
-		Graph:     rg.fingerprint,
-		Method:    resp.Method,
-		Alpha:     opt.Alpha,
-		Beta:      opt.Beta,
-		Threshold: opt.Threshold,
-	}
-	start := time.Now()
-	u, hit := s.cache.Get(key)
-	if !hit {
-		var err error
-		u, err = symcluster.SymmetrizeCtx(ctx, rg.graph, method, opt)
-		if err != nil {
-			return nil, fmt.Errorf("symmetrize: %w", err)
+	if sym != nil {
+		resp.Method = sym.Name()
+		trace.Symmetrizer = sym.Name()
+		key := CacheKey{
+			Graph:     rg.fingerprint,
+			Method:    sym.Name(),
+			Alpha:     opt.Alpha,
+			Beta:      opt.Beta,
+			Threshold: opt.Threshold,
 		}
-		s.cache.Put(key, u)
+		start := time.Now()
+		u, hit := s.cache.Get(key)
+		if !hit {
+			var err error
+			u, err = sym.Run(ctx, rg.graph, opt)
+			if err != nil {
+				return nil, fmt.Errorf("symmetrize: %w", err)
+			}
+			s.cache.Put(key, u)
+		}
+		resp.CacheHit = hit
+		resp.SymmetrizeMillis = float64(time.Since(start)) / float64(time.Millisecond)
+		trace.SymmetrizeMillis = resp.SymmetrizeMillis
+		trace.SymmetrizedNNZ = u.Adj.NNZ()
+		resp.Nodes = u.N()
+		resp.UndirectedEdges = u.M()
+		in.U = u
+		if !hit {
+			s.metrics.ObserveStage("symmetrize", sym.Name(), resp.SymmetrizeMillis/1000)
+		}
+	} else {
+		resp.Nodes = rg.graph.N()
 	}
-	resp.CacheHit = hit
-	resp.SymmetrizeMillis = float64(time.Since(start)) / float64(time.Millisecond)
-	resp.Nodes = u.N()
-	resp.UndirectedEdges = u.M()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	start = time.Now()
-	res, err := symcluster.ClusterCtx(ctx, u, algo, symcluster.ClusterOptions{
-		TargetClusters: req.K,
-		Inflation:      req.Inflation,
-		Seed:           req.Seed,
-	})
+	start := time.Now()
+	res, err := cl.Run(ctx, in, clOpt)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	resp.ClusterMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	trace.ClusterMillis = resp.ClusterMillis
+	s.metrics.ObserveStage("cluster", cl.Name(), resp.ClusterMillis/1000)
 	resp.K = res.K
 	resp.Assign = res.Assign
+	resp.Trace = trace
 	return resp, ctx.Err()
 }
 

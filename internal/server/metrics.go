@@ -17,6 +17,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]int64
 	latency  map[string]*latencyAgg
+	stages   map[stageKey]*latencyAgg
 
 	admissionRejected atomic.Int64
 }
@@ -24,6 +25,13 @@ type Metrics struct {
 type requestKey struct {
 	route string
 	code  int
+}
+
+// stageKey labels a pipeline-stage observation: stage is "symmetrize"
+// or "cluster", name is the registry's canonical entry name.
+type stageKey struct {
+	stage string
+	name  string
 }
 
 type latencyAgg struct {
@@ -36,7 +44,22 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[requestKey]int64),
 		latency:  make(map[string]*latencyAgg),
+		stages:   make(map[stageKey]*latencyAgg),
 	}
+}
+
+// ObserveStage records the wall clock of one executed pipeline stage
+// (cache hits are not observed — only work actually done).
+func (m *Metrics) ObserveStage(stage, name string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg := m.stages[stageKey{stage, name}]
+	if agg == nil {
+		agg = &latencyAgg{}
+		m.stages[stageKey{stage, name}] = agg
+	}
+	agg.sum += seconds
+	agg.count++
 }
 
 // ObserveRequest records one served request on a route with its status
@@ -77,6 +100,16 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore)
 		latRoutes = append(latRoutes, r)
 	}
 	sort.Strings(latRoutes)
+	stageKeys := make([]stageKey, 0, len(m.stages))
+	for k := range m.stages {
+		stageKeys = append(stageKeys, k)
+	}
+	sort.Slice(stageKeys, func(i, j int) bool {
+		if stageKeys[i].stage != stageKeys[j].stage {
+			return stageKeys[i].stage < stageKeys[j].stage
+		}
+		return stageKeys[i].name < stageKeys[j].name
+	})
 
 	fmt.Fprintln(w, "# TYPE symclusterd_requests_total counter")
 	for _, k := range reqKeys {
@@ -87,6 +120,12 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore)
 		agg := m.latency[r]
 		fmt.Fprintf(w, "symclusterd_request_seconds_sum{route=%q} %.6f\n", r, agg.sum)
 		fmt.Fprintf(w, "symclusterd_request_seconds_count{route=%q} %d\n", r, agg.count)
+	}
+	fmt.Fprintln(w, "# TYPE symclusterd_stage_seconds summary")
+	for _, k := range stageKeys {
+		agg := m.stages[k]
+		fmt.Fprintf(w, "symclusterd_stage_seconds_sum{stage=%q,name=%q} %.6f\n", k.stage, k.name, agg.sum)
+		fmt.Fprintf(w, "symclusterd_stage_seconds_count{stage=%q,name=%q} %d\n", k.stage, k.name, agg.count)
 	}
 	m.mu.Unlock()
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/pipeline"
 )
 
 // Config sizes the service. Zero values select the defaults noted on
@@ -82,15 +83,14 @@ type Server struct {
 }
 
 // registeredGraph is one uploaded graph plus the precomputed identity
-// used in cache keys and the degree-profile flop bounds used by
-// admission control (computed once at registration, O(nnz)).
+// used in cache keys and the degree-profile stats the registry cost
+// models consume for admission control (computed once at registration,
+// O(nnz)).
 type registeredGraph struct {
 	info        GraphInfo
 	graph       *symcluster.DirectedGraph
 	fingerprint uint64
-	// couplingFlops bounds nnz(AAᵀ); cocitFlops bounds nnz(AᵀA).
-	couplingFlops int64
-	cocitFlops    int64
+	stats       pipeline.GraphStats
 }
 
 // New builds a ready-to-serve Server.
@@ -149,14 +149,12 @@ func (s *Server) RegisterGraph(g *symcluster.DirectedGraph) GraphInfo {
 		Edges:             g.M(),
 		SymmetricFraction: g.SymmetricLinkFraction(),
 	}
-	coupling, cocit := productFlops(g.Adj)
 	s.graphMu.Lock()
 	s.graphs[id] = &registeredGraph{
-		info:          info,
-		graph:         g,
-		fingerprint:   fp,
-		couplingFlops: coupling,
-		cocitFlops:    cocit,
+		info:        info,
+		graph:       g,
+		fingerprint: fp,
+		stats:       pipeline.StatsFor(g),
 	}
 	s.graphMu.Unlock()
 	return info

@@ -1,0 +1,100 @@
+package symcluster_test
+
+import (
+	"strings"
+	"testing"
+
+	"symcluster"
+	"symcluster/internal/pipeline"
+)
+
+// TestRegistryCoversPublicEnums guards the single-source-of-truth
+// invariant: the public Methods/Algorithms slices, the pipeline
+// registries, and the parse/name round trips must all agree. Adding
+// an enum value without registering it (or vice versa) fails here.
+func TestRegistryCoversPublicEnums(t *testing.T) {
+	pm := pipeline.Methods()
+	if len(symcluster.Methods) != len(pm) {
+		t.Fatalf("public Methods has %d entries, registry has %d", len(symcluster.Methods), len(pm))
+	}
+	registered := map[symcluster.SymMethod]bool{}
+	for _, m := range pm {
+		registered[m] = true
+	}
+	for _, m := range symcluster.Methods {
+		if !registered[m] {
+			t.Fatalf("method %v missing from pipeline registry", m)
+		}
+		name := symcluster.MethodName(m)
+		back, err := symcluster.ParseMethod(name)
+		if err != nil || back != m {
+			t.Fatalf("ParseMethod(MethodName(%v)=%q) = %v, %v", m, name, back, err)
+		}
+	}
+
+	pa := pipeline.AlgorithmIDs()
+	if len(symcluster.Algorithms) != len(pa) {
+		t.Fatalf("public Algorithms has %d entries, registry has %d", len(symcluster.Algorithms), len(pa))
+	}
+	for _, a := range symcluster.Algorithms {
+		name := symcluster.AlgorithmName(a)
+		back, err := symcluster.ParseAlgorithm(name)
+		if err != nil || back != a {
+			t.Fatalf("ParseAlgorithm(AlgorithmName(%v)=%q) = %v, %v", a, name, back, err)
+		}
+	}
+}
+
+// TestPublicAliasSpellings checks the long-form aliases promised in
+// the docs resolve at the public API boundary.
+func TestPublicAliasSpellings(t *testing.T) {
+	methodAliases := map[string]symcluster.SymMethod{
+		"dd": symcluster.DegreeDiscounted, "degree-discounted": symcluster.DegreeDiscounted,
+		"bib": symcluster.Bibliometric, "bibliometric": symcluster.Bibliometric,
+		"aat": symcluster.AAT, "a+at": symcluster.AAT,
+		"rw": symcluster.RandomWalk, "random-walk": symcluster.RandomWalk,
+	}
+	for name, want := range methodAliases {
+		got, err := symcluster.ParseMethod(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMethod(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	algoAliases := map[string]symcluster.Algorithm{
+		"mcl": symcluster.MLRMCL, "mlrmcl": symcluster.MLRMCL,
+		"metis": symcluster.Metis, "kway": symcluster.Metis,
+		"graclus": symcluster.Graclus, "kernel-kmeans": symcluster.Graclus,
+		"spectral": symcluster.Spectral, "ncut": symcluster.Spectral,
+		"bestwcut": symcluster.BestWCutAlgo, "best-wcut": symcluster.BestWCutAlgo,
+		"zhou": symcluster.ZhouAlgo, "directed-laplacian": symcluster.ZhouAlgo,
+	}
+	for name, want := range algoAliases {
+		got, err := symcluster.ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}
+
+// TestPublicUnknownNameErrors pins the dynamic "valid values" error
+// contract at the public boundary.
+func TestPublicUnknownNameErrors(t *testing.T) {
+	_, err := symcluster.ParseMethod("jaccard")
+	if err == nil {
+		t.Fatal("accepted unknown method")
+	}
+	for _, m := range symcluster.Methods {
+		if !strings.Contains(err.Error(), symcluster.MethodName(m)) {
+			t.Fatalf("error %q omits %q", err, symcluster.MethodName(m))
+		}
+	}
+	_, err = symcluster.ParseAlgorithm("louvain")
+	if err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+	for _, a := range symcluster.Algorithms {
+		if !strings.Contains(err.Error(), symcluster.AlgorithmName(a)) {
+			t.Fatalf("error %q omits %q", err, symcluster.AlgorithmName(a))
+		}
+	}
+}

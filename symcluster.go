@@ -38,17 +38,13 @@ package symcluster
 
 import (
 	"context"
-	"fmt"
 
 	"symcluster/internal/core"
 	"symcluster/internal/eval"
 	"symcluster/internal/gen"
-	"symcluster/internal/graclus"
 	"symcluster/internal/graph"
 	"symcluster/internal/matrix"
-	"symcluster/internal/mcl"
-	"symcluster/internal/metis"
-	"symcluster/internal/spectral"
+	"symcluster/internal/pipeline"
 	"symcluster/internal/walk"
 )
 
@@ -113,6 +109,38 @@ const (
 // Methods lists all symmetrizations.
 var Methods = core.Methods
 
+// ParseMethod resolves a symmetrization from its wire name or any
+// registered alias ("dd", "degree-discounted", …), case-insensitively.
+// Unknown names yield an error listing the valid set.
+func ParseMethod(name string) (SymMethod, error) {
+	sym, err := pipeline.LookupSymmetrizer(name)
+	if err != nil {
+		return 0, err
+	}
+	return sym.Method(), nil
+}
+
+// MethodName returns the canonical wire name ("dd", "bib", "aat",
+// "rw") of a symmetrization, as accepted by ParseMethod, the CLI, and
+// the daemon.
+func MethodName(m SymMethod) string {
+	sym, err := pipeline.SymmetrizerFor(m)
+	if err != nil {
+		return m.String()
+	}
+	return sym.Name()
+}
+
+// ValidateSymmetrizeOptions checks opt's ranges for the given method
+// without running it — the same validation Symmetrize applies.
+func ValidateSymmetrizeOptions(m SymMethod, opt SymmetrizeOptions) error {
+	sym, err := pipeline.SymmetrizerFor(m)
+	if err != nil {
+		return err
+	}
+	return sym.Validate(opt)
+}
+
 // DefaultSymmetrizeOptions returns the paper's recommended settings:
 // α = β = 0.5, teleport 0.05, self-similarities dropped.
 func DefaultSymmetrizeOptions() SymmetrizeOptions { return core.Defaults() }
@@ -139,57 +167,88 @@ func CalibrateThreshold(g *DirectedGraph, opt SymmetrizeOptions, targetAvgDegree
 	return core.CalibrateThreshold(g.Adj, opt, targetAvgDegree, sample, seed)
 }
 
-// Algorithm selects an undirected clustering substrate.
-type Algorithm int
+// Algorithm selects a clustering substrate. It is an alias of the
+// pipeline registry's identifier type: every registered clusterer —
+// the paper's three undirected substrates, plain spectral clustering,
+// and the two directed spectral baselines — is a valid value.
+type Algorithm = pipeline.Algorithm
 
 const (
 	// MLRMCL is multi-level regularized Markov clustering (Satuluri &
 	// Parthasarathy, KDD 2009). The number of clusters is controlled
 	// indirectly through the inflation parameter.
-	MLRMCL Algorithm = iota
+	MLRMCL = pipeline.MLRMCL
 	// Metis is a multilevel k-way partitioner by recursive bisection
 	// with Fiduccia–Mattheyses refinement (Karypis & Kumar, 1999).
-	Metis
+	Metis = pipeline.Metis
 	// Graclus is a multilevel weighted-kernel-k-means normalised-cut
 	// clusterer (Dhillon, Guan & Kulis, TPAMI 2007).
-	Graclus
+	Graclus = pipeline.Graclus
+	// Spectral is classic undirected normalised-cut spectral
+	// clustering (relaxation + k-means).
+	Spectral = pipeline.SpectralNCut
+	// BestWCutAlgo is the Meila–Pentney directed weighted-cut spectral
+	// baseline. It clusters the directed graph itself; the symmetrize
+	// stage is bypassed.
+	BestWCutAlgo = pipeline.BestWCut
+	// ZhouAlgo is the directed-Laplacian spectral baseline of Zhou,
+	// Huang & Schölkopf. It clusters the directed graph itself; the
+	// symmetrize stage is bypassed.
+	ZhouAlgo = pipeline.Zhou
 )
 
-// String returns the algorithm's conventional name.
-func (a Algorithm) String() string {
-	switch a {
-	case MLRMCL:
-		return "MLR-MCL"
-	case Metis:
-		return "Metis"
-	case Graclus:
-		return "Graclus"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
+// Algorithms lists every registered clustering substrate.
+var Algorithms = pipeline.AlgorithmIDs()
+
+// ParseAlgorithm resolves a clustering substrate from its wire name or
+// any registered alias ("mcl", "mlr-mcl", "spectral", …),
+// case-insensitively. Unknown names yield an error listing the valid
+// set.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	cl, err := pipeline.LookupClusterer(name)
+	if err != nil {
+		return 0, err
 	}
+	return cl.ID(), nil
 }
 
-// Algorithms lists the three clustering substrates.
-var Algorithms = []Algorithm{MLRMCL, Metis, Graclus}
+// AlgorithmName returns the canonical wire name ("mcl", "metis", …) of
+// an algorithm, as accepted by ParseAlgorithm, the CLI, and the
+// daemon.
+func AlgorithmName(a Algorithm) string {
+	cl, err := pipeline.ClustererFor(a)
+	if err != nil {
+		return a.String()
+	}
+	return cl.Name()
+}
+
+// AcceptsDirected reports whether the algorithm clusters the directed
+// graph itself (the spectral baselines), bypassing the symmetrize
+// stage of the two-stage pipeline.
+func AcceptsDirected(a Algorithm) bool { return a.AcceptsDirected() }
+
+// RequiresK reports whether the algorithm needs an explicit target
+// cluster count (every substrate except MLR-MCL, which can pick its
+// granularity through inflation).
+func RequiresK(a Algorithm) bool { return a.RequiresK() }
 
 // ClusterOptions configures Cluster.
-type ClusterOptions struct {
-	// TargetClusters is the desired number of clusters. Metis and
-	// Graclus honour it exactly; MLR-MCL uses it to pick an inflation
-	// (its cluster count is inherently approximate — paper §4.2).
-	TargetClusters int
-	// Inflation overrides the MLR-MCL inflation parameter directly
-	// (> 1). When set, TargetClusters is ignored for MLR-MCL.
-	Inflation float64
-	// Seed drives all randomised choices.
-	Seed int64
-}
+//
+// TargetClusters is the desired number of clusters: Metis, Graclus and
+// the spectral substrates honour it exactly, while MLR-MCL uses it to
+// pick an inflation (its cluster count is inherently approximate —
+// paper §4.2). Inflation (> 1) overrides the MLR-MCL inflation
+// directly. Seed drives all randomised choices.
+type ClusterOptions = pipeline.ClusterOptions
 
 // Clustering is the output of Cluster: a node → cluster assignment.
-type Clustering struct {
-	Assign []int
-	K      int
-}
+type Clustering = pipeline.Result
+
+// StageTrace reports per-stage wall-clock timings and the symmetrized
+// edge count of a pipeline run, as surfaced by the CLI's -json output
+// and the daemon's responses.
+type StageTrace = pipeline.StageTrace
 
 // Cluster runs the selected algorithm on a symmetrized graph.
 func Cluster(u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clustering, error) {
@@ -200,75 +259,22 @@ func Cluster(u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clusterin
 // iteration boundaries (MCL expansion rounds, bisection and refinement
 // passes), so a cancelled or expired context aborts the clustering
 // within one iteration and the call returns ctx's error.
+//
+// Dispatch goes through the pipeline registry, so every registered
+// substrate is available; the directed-only baselines (BestWCutAlgo,
+// ZhouAlgo) reject an undirected input — use ClusterDirected or the
+// dedicated helpers for those.
 func ClusterCtx(ctx context.Context, u *UndirectedGraph, algo Algorithm, opt ClusterOptions) (*Clustering, error) {
-	switch algo {
-	case MLRMCL:
-		inflation := opt.Inflation
-		if inflation <= 1 {
-			inflation = inflationForTarget(u.N(), opt.TargetClusters)
-		}
-		res, err := mcl.ClusterCtx(ctx, u.Adj, mcl.Options{
-			Inflation:      inflation,
-			Multilevel:     u.N() > 5000,
-			MaxIter:        40,
-			MaxPerColumn:   30,
-			ConvergenceTol: 1e-4,
-			Seed:           opt.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Clustering{Assign: res.Assign, K: res.K}, nil
-	case Metis:
-		k := opt.TargetClusters
-		if k <= 0 {
-			return nil, fmt.Errorf("symcluster: Metis requires TargetClusters >= 1")
-		}
-		res, err := metis.PartitionCtx(ctx, u.Adj, k, metis.Options{Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		return &Clustering{Assign: res.Assign, K: res.K}, nil
-	case Graclus:
-		k := opt.TargetClusters
-		if k <= 0 {
-			return nil, fmt.Errorf("symcluster: Graclus requires TargetClusters >= 1")
-		}
-		res, err := graclus.ClusterCtx(ctx, u.Adj, k, graclus.Options{Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		return &Clustering{Assign: res.Assign, K: res.K}, nil
-	default:
-		return nil, fmt.Errorf("symcluster: unknown algorithm %v", algo)
+	cl, err := pipeline.ClustererFor(algo)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// inflationForTarget maps a desired cluster count to an MLR-MCL
-// inflation value. The mapping is a heuristic fit: granularity grows
-// with inflation, so we interpolate between gentle (1.2) and aggressive
-// (3.0) based on the requested clusters-per-node ratio.
-func inflationForTarget(n, target int) float64 {
-	if target <= 0 || n <= 0 {
-		return 2.0
-	}
-	ratio := float64(target) / float64(n)
-	switch {
-	case ratio <= 0.002:
-		return 1.2
-	case ratio <= 0.01:
-		return 1.5
-	case ratio <= 0.03:
-		return 2.0
-	case ratio <= 0.08:
-		return 2.5
-	default:
-		return 3.0
-	}
+	return cl.Run(ctx, pipeline.Input{U: u}, opt)
 }
 
 // ClusterDirected runs the full two-stage pipeline: symmetrize with
-// method, then cluster with algo.
+// method, then cluster with algo. Algorithms that cluster the directed
+// graph directly (AcceptsDirected) skip the symmetrize stage.
 func ClusterDirected(g *DirectedGraph, method SymMethod, symOpt SymmetrizeOptions, algo Algorithm, clusterOpt ClusterOptions) (*Clustering, error) {
 	return ClusterDirectedCtx(context.Background(), g, method, symOpt, algo, clusterOpt)
 }
@@ -276,11 +282,24 @@ func ClusterDirected(g *DirectedGraph, method SymMethod, symOpt SymmetrizeOption
 // ClusterDirectedCtx is ClusterDirected with cancellation threaded
 // through both pipeline stages.
 func ClusterDirectedCtx(ctx context.Context, g *DirectedGraph, method SymMethod, symOpt SymmetrizeOptions, algo Algorithm, clusterOpt ClusterOptions) (*Clustering, error) {
-	u, err := SymmetrizeCtx(ctx, g, method, symOpt)
+	res, _, _, err := ClusterDirectedTraceCtx(ctx, g, method, symOpt, algo, clusterOpt)
+	return res, err
+}
+
+// ClusterDirectedTraceCtx is ClusterDirectedCtx returning, in
+// addition, the symmetrized graph (nil when the algorithm clusters the
+// directed graph directly) and a StageTrace with per-stage wall-clock
+// timings.
+func ClusterDirectedTraceCtx(ctx context.Context, g *DirectedGraph, method SymMethod, symOpt SymmetrizeOptions, algo Algorithm, clusterOpt ClusterOptions) (*Clustering, *UndirectedGraph, *StageTrace, error) {
+	sym, err := pipeline.SymmetrizerFor(method)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return ClusterCtx(ctx, u, algo, clusterOpt)
+	cl, err := pipeline.ClustererFor(algo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pipeline.Execute(ctx, g, sym, symOpt, cl, clusterOpt)
 }
 
 // BestWCut runs the reimplemented Meila–Pentney weighted-cut spectral
@@ -292,14 +311,7 @@ func BestWCut(g *DirectedGraph, k int, seed int64) (*Clustering, error) {
 // BestWCutCtx is BestWCut with cancellation at iteration boundaries of
 // the power iteration, Lanczos and k-means stages.
 func BestWCutCtx(ctx context.Context, g *DirectedGraph, k int, seed int64) (*Clustering, error) {
-	res, err := spectral.BestWCutCtx(ctx, g.Adj, k, spectral.BestWCutOptions{
-		KMeans:  spectral.KMeansOptions{Seed: seed},
-		Lanczos: spectral.LanczosOptions{Seed: seed},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Clustering{Assign: res.Assign, K: res.K}, nil
+	return clusterDirectedOnly(ctx, g, BestWCutAlgo, k, seed)
 }
 
 // ZhouSpectral runs the directed-Laplacian spectral baseline of Zhou,
@@ -311,14 +323,17 @@ func ZhouSpectral(g *DirectedGraph, k int, seed int64) (*Clustering, error) {
 // ZhouSpectralCtx is ZhouSpectral with cancellation at iteration
 // boundaries of the power iteration, Lanczos and k-means stages.
 func ZhouSpectralCtx(ctx context.Context, g *DirectedGraph, k int, seed int64) (*Clustering, error) {
-	res, err := spectral.ZhouDirectedCtx(ctx, g.Adj, k, spectral.ZhouOptions{
-		KMeans:  spectral.KMeansOptions{Seed: seed},
-		Lanczos: spectral.LanczosOptions{Seed: seed},
-	})
+	return clusterDirectedOnly(ctx, g, ZhouAlgo, k, seed)
+}
+
+// clusterDirectedOnly runs a directed-input substrate from the
+// registry on g.
+func clusterDirectedOnly(ctx context.Context, g *DirectedGraph, algo Algorithm, k int, seed int64) (*Clustering, error) {
+	cl, err := pipeline.ClustererFor(algo)
 	if err != nil {
 		return nil, err
 	}
-	return &Clustering{Assign: res.Assign, K: res.K}, nil
+	return cl.Run(ctx, pipeline.Input{G: g}, ClusterOptions{TargetClusters: k, Seed: seed})
 }
 
 // Evaluate scores a clustering against ground truth with the paper's

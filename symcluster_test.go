@@ -57,7 +57,16 @@ func TestAlgorithmsDispatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range symcluster.Algorithms {
-		res, err := symcluster.Cluster(u, algo, symcluster.ClusterOptions{TargetClusters: 5, Seed: 4})
+		var res *symcluster.Clustering
+		if symcluster.AcceptsDirected(algo) {
+			// The directed baselines consume the original graph; the
+			// two-stage entry point routes around the symmetrization.
+			res, err = symcluster.ClusterDirected(data.Graph, symcluster.AAT,
+				symcluster.DefaultSymmetrizeOptions(), algo,
+				symcluster.ClusterOptions{TargetClusters: 5, Seed: 4})
+		} else {
+			res, err = symcluster.Cluster(u, algo, symcluster.ClusterOptions{TargetClusters: 5, Seed: 4})
+		}
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -65,12 +74,18 @@ func TestAlgorithmsDispatch(t *testing.T) {
 			t.Fatalf("%v: assign len %d", algo, len(res.Assign))
 		}
 	}
-	// Metis and Graclus require a target.
-	if _, err := symcluster.Cluster(u, symcluster.Metis, symcluster.ClusterOptions{}); err == nil {
-		t.Fatal("Metis accepted zero target")
+	// Every substrate except MLR-MCL requires a target.
+	for _, algo := range symcluster.Algorithms {
+		if !symcluster.RequiresK(algo) {
+			continue
+		}
+		if _, err := symcluster.Cluster(u, algo, symcluster.ClusterOptions{}); err == nil {
+			t.Fatalf("%v accepted zero target", algo)
+		}
 	}
-	if _, err := symcluster.Cluster(u, symcluster.Graclus, symcluster.ClusterOptions{}); err == nil {
-		t.Fatal("Graclus accepted zero target")
+	// A directed baseline given only the symmetrized graph must refuse.
+	if _, err := symcluster.Cluster(u, symcluster.BestWCutAlgo, symcluster.ClusterOptions{TargetClusters: 5}); err == nil {
+		t.Fatal("BestWCut accepted an undirected-only input")
 	}
 	if _, err := symcluster.Cluster(u, symcluster.Algorithm(42), symcluster.ClusterOptions{TargetClusters: 2}); err == nil {
 		t.Fatal("accepted unknown algorithm")
