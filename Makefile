@@ -1,11 +1,16 @@
 # Pre-merge checks for symcluster. `make check` is the documented
-# gate: formatting, vet, the registry lint, a full build, the short
-# test suite, the race detector over the whole module, and a bounded
-# fuzz pass of the edge-list parser. The long statistical experiments
-# (minutes per seed) run only via `make test-long`.
+# gate: formatting, vet, the registry and logging lints, a full build,
+# the short test suite, the race detector over the whole module, and a
+# bounded fuzz pass of the edge-list parser. The long statistical
+# experiments (minutes per seed) run only via `make test-long`.
 
 GO ?= go
 FUZZTIME ?= 5s
+
+# Stamped into internal/obs.Version: the symclusterd_build_info metric,
+# the /healthz body, startup logs, and `expgen -version` all report it.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X symcluster/internal/obs.Version=$(VERSION)
 
 .PHONY: check fmt vet lint build test race fuzz test-long
 
@@ -19,19 +24,31 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Two source-hygiene lints:
+#
 # The pipeline registry is the single source of truth for method and
 # algorithm catalogs. Switching over those enums anywhere else
 # reintroduces a shadow catalog that silently goes stale when an entry
 # is added, so any such switch outside internal/pipeline fails lint.
+#
+# Logging goes through log/slog via internal/obs (DESIGN.md §11):
+# log.Printf and fmt.Println in library or daemon code bypass the
+# structured handler and lose the request/trace attributes, so new
+# uses fail lint (tests excepted — they may print freely).
 lint:
 	@out="$$(grep -rn --include='*.go' -E 'switch[ (][^{]*(Method|Algorithm|Algo)' . \
 		| grep -v '^\./internal/pipeline/' || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "lint: switch over Method/Algorithm outside internal/pipeline" \
 			"(use the registry instead):"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rn --include='*.go' --exclude='*_test.go' -E '\blog\.Printf\(|\bfmt\.Println\(' \
+		./internal ./cmd/symclusterd || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: log.Printf/fmt.Println in internal/ or cmd/symclusterd" \
+			"(use log/slog via internal/obs instead):"; echo "$$out"; exit 1; fi
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test -short ./...

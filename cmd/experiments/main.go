@@ -9,6 +9,9 @@
 // Experiments: table1 table2 table3 table4 table5 fig4 fig5a fig5b
 // fig6a fig6b fig7a fig7b fig8a fig8b fig9a fig9b signtest casestudy
 // spam all
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole
+// batch, the usual first step when an experiment regresses in runtime.
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"symcluster/internal/experiments"
@@ -27,6 +32,8 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "dataset scale: small or paper")
 	seed := flag.Int64("seed", 1, "generator seed")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale small|paper] [-seed N] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 table4 table5 fig4 fig5a fig5b\n")
@@ -37,6 +44,32 @@ func main() {
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var scale experiments.Scale
@@ -242,6 +275,9 @@ func runOne(name string, d *experiments.Datasets, seed int64, csvDir string) {
 }
 
 func fatal(err error) {
+	// os.Exit skips deferred cleanup, so flush the CPU profile here;
+	// StopCPUProfile is a no-op when profiling never started.
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

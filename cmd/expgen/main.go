@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"symcluster/internal/gen"
 	"symcluster/internal/graph"
+	"symcluster/internal/obs"
 )
 
 func main() {
@@ -24,7 +26,12 @@ func main() {
 	out := flag.String("out", "", "output file prefix (required)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	scale := flag.String("scale", "small", "dataset scale: small or paper")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("expgen %s %s\n", obs.Version, runtime.Version())
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "expgen: -out PREFIX is required")
 		flag.Usage()

@@ -19,6 +19,11 @@
 // stderr. With -json, stdout carries a single JSON document in the
 // same schema as symclusterd's POST /v1/cluster response instead of
 // one cluster id per line.
+//
+// Observability: -json output embeds the run's span tree
+// (trace.spans), -trace-log appends the same tree as one JSON line to
+// a file, and -cpuprofile/-memprofile write pprof profiles of the run
+// (see README.md "Observability").
 package main
 
 import (
@@ -28,11 +33,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"symcluster"
 	"symcluster/internal/graph"
+	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
 	"symcluster/internal/server"
 )
@@ -62,14 +71,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	stats := fs.Bool("stats", false, "print symmetrized-graph statistics to stderr")
 	jsonOut := fs.Bool("json", false, "emit the symclusterd POST /v1/cluster response schema on stdout")
+	logLevel := fs.String("log-level", "warn", "minimum log level for structured logs: debug, info, warn, error")
+	traceLog := fs.String("trace-log", "", "append the run's JSON span tree to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	// The CLI logs human-readable text; the daemon uses the same
+	// substrate with a JSON handler.
+	slog.SetDefault(obs.NewLogger(stderr, "text", obs.ParseLevel(*logLevel)))
 
 	if *in == "" {
 		fmt.Fprintln(stderr, "symcluster: -in FILE is required")
 		fs.Usage()
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "symcluster:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "symcluster:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	g, err := symcluster.ReadEdgeListFile(*in)
@@ -126,7 +172,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res, u, trace, err := pipeline.Execute(context.Background(), g, sym, opt, cl, clOpt)
+	// Trace the run when anything will consume the span tree: -json
+	// embeds it, -trace-log appends it as one JSON line. Otherwise the
+	// context carries no trace and every span call is a no-op.
+	ctx := context.Background()
+	var tr *obs.Trace
+	var root *obs.Span
+	if *jsonOut || *traceLog != "" {
+		tr = obs.NewTrace()
+		ctx, root = tr.StartRoot(ctx, "run",
+			obs.A("input", *in), obs.A("method", *method), obs.A("algorithm", *algo))
+	}
+
+	res, u, trace, err := pipeline.Execute(ctx, g, sym, opt, cl, clOpt)
+	if tr != nil {
+		root.EndErr(err)
+		trace.Spans = tr.Tree()
+		if *traceLog != "" {
+			f, ferr := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if ferr != nil {
+				return fail(stderr, ferr)
+			}
+			obs.NewTraceSink(f, 1).Export(tr)
+			if ferr := f.Close(); ferr != nil {
+				return fail(stderr, ferr)
+			}
+		}
+	}
 	if err != nil {
 		return fail(stderr, err)
 	}

@@ -161,6 +161,69 @@ func TestCLIServerParity(t *testing.T) {
 	}
 }
 
+// TestCLIObservabilityOutputs drives one run with every observability
+// flag: -json must embed the span tree, -trace-log must append it as a
+// parseable JSON line, and the pprof flags must write non-empty
+// profiles.
+func TestCLIObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "figure1.edges")
+	if err := os.WriteFile(edgePath, []byte(figure1Edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+
+	resp := runCLI(t, "-in", edgePath, "-method", "dd", "-algo", "mcl", "-seed", "7",
+		"-json", "-trace-log", tracePath, "-cpuprofile", cpuPath, "-memprofile", memPath)
+
+	if resp.Trace == nil || resp.Trace.Spans == nil {
+		t.Fatal("-json output carries no span tree")
+	}
+	root := resp.Trace.Spans
+	if root.Name != "run" || root.TraceID == "" {
+		t.Fatalf("root span = %q trace_id = %q, want named run with an id", root.Name, root.TraceID)
+	}
+	var stages []string
+	for _, c := range root.Children {
+		stages = append(stages, c.Name)
+	}
+	if !reflect.DeepEqual(stages, []string{"symmetrize", "cluster"}) {
+		t.Fatalf("root children = %v, want [symmetrize cluster]", stages)
+	}
+
+	// -trace-log appended exactly one JSON line holding the same tree.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("trace log holds %d lines, want 1", len(lines))
+	}
+	var logged struct {
+		Name    string `json:"name"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &logged); err != nil {
+		t.Fatalf("trace log line does not parse: %v", err)
+	}
+	if logged.Name != "run" || logged.TraceID != root.TraceID {
+		t.Fatalf("logged trace = %+v, want the run tree %q", logged, root.TraceID)
+	}
+
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 // TestCLIUnknownNamesExitTwo checks the usage-error exit code and the
 // dynamic valid-name listing for both stages.
 func TestCLIUnknownNamesExitTwo(t *testing.T) {

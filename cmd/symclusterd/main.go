@@ -10,6 +10,8 @@
 //	symclusterd [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
 //	            [-max-body-mb MB] [-max-job-mb MB] [-timeout D]
 //	            [-job-ttl D] [-drain-timeout D] [-preload graph.edges]
+//	            [-log-format json|text] [-log-level LEVEL]
+//	            [-trace-log FILE] [-trace-ring N] [-debug-addr ADDR]
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes,
 // health checks fail, and in-flight work (including async jobs) drains
@@ -17,9 +19,18 @@
 //
 // -max-job-mb is admission control: requests whose estimated working
 // set exceeds the budget are rejected with 413 before they occupy a
-// worker. -job-ttl expires finished async job results. The
-// SYMCLUSTER_FAULTS environment variable arms deterministic faults at
-// named pipeline sites for chaos drills (see internal/faultinject);
+// worker. -job-ttl expires finished async job results.
+//
+// Observability (see README.md "Observability" and DESIGN.md §11):
+// logs are structured (JSON by default; -log-format text for humans),
+// every clustering run is traced and exported to the -trace-log JSONL
+// file plus an in-memory ring served by GET /v1/jobs/{id}/trace, and
+// -debug-addr starts a separate listener with net/http/pprof under
+// /debug/pprof/ — separate so profiling is never exposed on the
+// service port.
+//
+// The SYMCLUSTER_FAULTS environment variable arms deterministic faults
+// at named pipeline sites for chaos drills (see internal/faultinject);
 // never set it in production.
 package main
 
@@ -28,7 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +49,7 @@ import (
 
 	symcluster "symcluster"
 	"symcluster/internal/faultinject"
+	"symcluster/internal/obs"
 	"symcluster/internal/server"
 )
 
@@ -52,15 +64,46 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results; 0 keeps them until evicted")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	preload := flag.String("preload", "", "edge-list file to register at startup (logs its graph id)")
+	logFormat := flag.String("log-format", "json", "log output format: json or text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	traceLog := flag.String("trace-log", "", "append one JSON span tree per clustering run to this file")
+	traceRing := flag.Int("trace-ring", 64, "recent traces retained in memory for GET /v1/jobs/{id}/trace")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "symclusterd: ", log.LstdFlags)
+	logger := obs.NewLogger(os.Stderr, *logFormat, obs.ParseLevel(*logLevel))
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	logger.Info("starting symclusterd",
+		"version", obs.Version, "go_version", runtime.Version(),
+		"workers", *workers, "cache_mb", *cacheMB)
 
 	if spec := os.Getenv("SYMCLUSTER_FAULTS"); spec != "" {
 		if err := faultinject.FromSpec(spec); err != nil {
-			logger.Fatalf("SYMCLUSTER_FAULTS: %v", err)
+			fatal("SYMCLUSTER_FAULTS invalid", "err", err)
 		}
-		logger.Printf("CHAOS: faults armed at %v — do not run production traffic", faultinject.Sites())
+		logger.Warn("CHAOS: faults armed — do not run production traffic",
+			"sites", fmt.Sprint(faultinject.Sites()))
+	}
+
+	var traceFile *os.File
+	if *traceLog != "" {
+		var err error
+		traceFile, err = os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("opening trace log", "path", *traceLog, "err", err)
+		}
+		defer traceFile.Close()
+	}
+	var sink *obs.TraceSink
+	if traceFile != nil {
+		sink = obs.NewTraceSink(traceFile, *traceRing)
+	} else {
+		sink = obs.NewTraceSink(nil, *traceRing)
 	}
 
 	srv := server.New(server.Config{
@@ -72,22 +115,39 @@ func main() {
 		RequestTimeout: *timeout,
 		JobTTL:         *jobTTL,
 		Logger:         logger,
+		TraceSink:      sink,
 	})
 
 	if *preload != "" {
 		g, err := symcluster.ReadEdgeListFile(*preload)
 		if err != nil {
-			logger.Fatalf("preload %s: %v", *preload, err)
+			fatal("preload failed", "path", *preload, "err", err)
 		}
 		info := srv.RegisterGraph(g)
-		logger.Printf("preloaded %s as %s (%d nodes, %d edges)", *preload, info.ID, info.Nodes, info.Edges)
+		logger.Info("preloaded graph", "path", *preload,
+			"graph_id", info.ID, "nodes", info.Nodes, "edges", info.Edges)
+	}
+
+	if *debugAddr != "" {
+		debugSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-		ErrorLog:          logger,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,28 +155,28 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (%d workers, %d MiB cache)", *addr, *workers, *cacheMB)
+		logger.Info("listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		logger.Fatalf("serve: %v", err)
+		fatal("serve failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutdown: draining up to %v", *drainTimeout)
+	logger.Info("shutdown: draining", "timeout", drainTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("shutdown: http: %v", err)
+		logger.Warn("shutdown: http", "err", err)
 	}
 	if err := srv.Drain(shutdownCtx); err != nil {
-		logger.Printf("shutdown: drain incomplete: %v", err)
+		logger.Error("shutdown: drain incomplete", "err", err)
 		os.Exit(1)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Warn("serve", "err", err)
 	}
-	fmt.Fprintln(os.Stderr, "symclusterd: drained cleanly")
+	logger.Info("drained cleanly")
 }

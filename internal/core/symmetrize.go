@@ -28,6 +28,7 @@ import (
 	"symcluster/internal/faultinject"
 	"symcluster/internal/graph"
 	"symcluster/internal/matrix"
+	"symcluster/internal/obs"
 	"symcluster/internal/simjoin"
 	"symcluster/internal/walk"
 )
@@ -143,12 +144,31 @@ func Symmetrize(g *graph.Directed, method Method, opt Options) (*graph.Undirecte
 // the sparse products and power iterations underneath, which poll it at
 // iteration and row-block boundaries, so a cancelled context aborts the
 // symmetrization within one block of kernel work with ctx's error.
-func SymmetrizeCtx(ctx context.Context, g *graph.Directed, method Method, opt Options) (*graph.Undirected, error) {
+//
+// Each call opens a "core.symmetrize" span and records nnz in/out and
+// the number of entries killed by the prune threshold through the obs
+// hooks (no-ops without a trace/meter in ctx).
+func SymmetrizeCtx(ctx context.Context, g *graph.Directed, method Method, opt Options) (out *graph.Undirected, err error) {
 	// Check once at entry so even methods with no internal poll points
 	// (AAT is a single sparse add) respect an already-cancelled context.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "core.symmetrize",
+		obs.A("method", method.String()), obs.A("nnz_in", g.Adj.NNZ()))
+	ctx, prune := obs.WithPruneStats(ctx)
+	defer func() {
+		nnzOut := 0
+		if out != nil {
+			nnzOut = out.Adj.NNZ()
+		}
+		sp.SetAttr("nnz_out", nnzOut)
+		sp.SetAttr("pruned_entries", prune.Killed())
+		sp.EndErr(err)
+		if err == nil {
+			obs.ObserveSymmetrize(ctx, method.String(), g.Adj.NNZ(), nnzOut, prune.Killed())
+		}
+	}()
 	if err := faultinject.Fire("core.symmetrize"); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"symcluster/internal/obs"
 )
 
 // ctxCheckRows is the row stride at which the cancellable kernels poll
@@ -88,16 +90,23 @@ func (s *accumulator) add(col int32, v float64) {
 
 // flush appends the accumulated row to out (whose RowPtr for this row is
 // finalised by the caller), pruning entries below threshold, and resets
-// the workspace.
-func (s *accumulator) flush(out *CSR, threshold float64) {
+// the workspace. It returns how many nonzero entries the threshold
+// killed, the quantity the obs prune accounting aggregates.
+func (s *accumulator) flush(out *CSR, threshold float64) int {
 	// Filter before sorting: with an aggressive threshold most touched
 	// columns are dropped, and sorting only the survivors is much
 	// cheaper than sorting everything.
+	killed := 0
 	kept := s.touched[:0]
 	for _, c := range s.touched {
 		v := s.acc[c]
-		if v != 0 && math.Abs(v) >= threshold {
+		if v == 0 {
+			continue
+		}
+		if math.Abs(v) >= threshold {
 			kept = append(kept, c)
+		} else {
+			killed++
 		}
 	}
 	sort.Slice(kept, func(x, y int) bool { return kept[x] < kept[y] })
@@ -113,6 +122,7 @@ func (s *accumulator) flush(out *CSR, threshold float64) {
 		}
 		s.gen = 1
 	}
+	return killed
 }
 
 // Mul returns the sparse product a·b with no pruning.
@@ -143,6 +153,7 @@ func MulPrunedTopKCtx(ctx context.Context, a, b *CSR, threshold float64, topK in
 	}
 	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
 	spa := newAccumulator(b.Cols)
+	var killed int64
 	var kept []int32
 	for i := 0; i < a.Rows; i++ {
 		if err := rowCancelled(ctx, i); err != nil {
@@ -161,8 +172,13 @@ func MulPrunedTopKCtx(ctx context.Context, a, b *CSR, threshold float64, topK in
 		kept = kept[:0]
 		for _, c := range spa.touched {
 			v := spa.acc[c]
-			if v != 0 && math.Abs(v) >= threshold {
+			if v == 0 {
+				continue
+			}
+			if math.Abs(v) >= threshold {
 				kept = append(kept, c)
+			} else {
+				killed++
 			}
 		}
 		if len(kept) > topK {
@@ -184,6 +200,7 @@ func MulPrunedTopKCtx(ctx context.Context, a, b *CSR, threshold float64, topK in
 			spa.gen = 1
 		}
 	}
+	obs.PruneStatsFrom(ctx).Add(killed)
 	return out, nil
 }
 
@@ -251,6 +268,7 @@ func MulPrunedCtx(ctx context.Context, a, b *CSR, threshold float64) (*CSR, erro
 	}
 	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
 	spa := newAccumulator(b.Cols)
+	var killed int64
 	for i := 0; i < a.Rows; i++ {
 		if err := rowCancelled(ctx, i); err != nil {
 			return nil, err
@@ -263,9 +281,10 @@ func MulPrunedCtx(ctx context.Context, a, b *CSR, threshold float64) (*CSR, erro
 				spa.add(bc, w*bvals[t])
 			}
 		}
-		spa.flush(out, threshold)
+		killed += int64(spa.flush(out, threshold))
 		out.RowPtr[i+1] = int64(len(out.ColIdx))
 	}
+	obs.PruneStatsFrom(ctx).Add(killed)
 	return out, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"symcluster/internal/obs"
 )
 
 // MulPrunedParallel computes a·b with pruning like MulPruned, using up
@@ -57,6 +59,7 @@ func MulPrunedParallelCtx(ctx context.Context, a, b *CSR, threshold float64, wor
 	// First cancellation observed by any worker; the other workers see
 	// the flag at their next block boundary and abandon their block.
 	var cancelled atomic.Bool
+	var killed atomic.Int64
 	var wg sync.WaitGroup
 	for w := range blocks {
 		wg.Add(1)
@@ -64,6 +67,7 @@ func MulPrunedParallelCtx(ctx context.Context, a, b *CSR, threshold float64, wor
 			defer wg.Done()
 			out := &CSR{Rows: blk.hi - blk.lo, Cols: b.Cols, RowPtr: make([]int64, blk.hi-blk.lo+1)}
 			spa := newAccumulator(b.Cols)
+			var blockKilled int64
 			for i := blk.lo; i < blk.hi; i++ {
 				if (i-blk.lo)%ctxCheckRows == 0 {
 					if cancelled.Load() || ctx.Err() != nil {
@@ -79,9 +83,10 @@ func MulPrunedParallelCtx(ctx context.Context, a, b *CSR, threshold float64, wor
 						spa.add(bc, w*bvals[t])
 					}
 				}
-				spa.flush(out, threshold)
+				blockKilled += int64(spa.flush(out, threshold))
 				out.RowPtr[i-blk.lo+1] = int64(len(out.ColIdx))
 			}
+			killed.Add(blockKilled)
 			blk.out = out
 		}(&blocks[w])
 	}
@@ -92,6 +97,7 @@ func MulPrunedParallelCtx(ctx context.Context, a, b *CSR, threshold float64, wor
 		}
 		return nil, context.Canceled
 	}
+	obs.PruneStatsFrom(ctx).Add(killed.Load())
 
 	// Stitch the blocks.
 	total := 0

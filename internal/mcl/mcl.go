@@ -27,6 +27,7 @@ import (
 	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 	"symcluster/internal/multilevel"
+	"symcluster/internal/obs"
 )
 
 // Options configures R-MCL / MLR-MCL.
@@ -219,7 +220,21 @@ func regularizer(adj *matrix.CSR, selfLoop float64) *matrix.CSR {
 // pruning, which corresponds to M := Inflate(M·M_G, r) with per-column
 // pruning. ctx is polled at every iteration boundary (and inside the
 // expansion product), so cancellation aborts within one iteration.
-func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int) (int, error) {
+//
+// Each call opens an "mcl.iterate" span (iteration count and final
+// residual as attributes) and records per-iteration residual, flow
+// nonzeros and threshold-pruned entries through the obs hooks; both
+// are no-ops when no trace/meter is installed in ctx.
+func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int) (iters int, err error) {
+	ctx, sp := obs.StartSpan(ctx, "mcl.iterate",
+		obs.A("nodes", mgt.Rows), obs.A("max_iter", maxIter))
+	var lastDelta float64
+	defer func() {
+		sp.SetAttr("iterations", iters)
+		sp.SetAttr("residual", lastDelta)
+		sp.EndErr(err)
+		obs.ObserveMCLRun(ctx, iters)
+	}()
 	for it := 0; it < maxIter; it++ {
 		if err := ctx.Err(); err != nil {
 			return it, err
@@ -241,9 +256,12 @@ func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Option
 			return it, err
 		}
 		inflateRows(next, opt.Inflation)
+		rawNNZ := next.NNZ()
 		next = prunePerRow(next, opt.PruneThreshold, opt.MaxPerColumn)
 		normalizeRowsInPlace(next)
 		delta := flowChange(*flow, next)
+		lastDelta = delta
+		obs.ObserveMCLIteration(ctx, delta, next.NNZ(), rawNNZ-next.NNZ())
 		*flow = next
 		if delta < opt.ConvergenceTol {
 			return it + 1, nil

@@ -12,6 +12,7 @@ import (
 
 	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
+	"symcluster/internal/obs"
 )
 
 // Level is one level of a coarsening hierarchy. Adj is the symmetric
@@ -75,16 +76,26 @@ func Coarsen(adj *matrix.CSR, opt Options) (*Hierarchy, error) {
 
 // CoarsenCtx is Coarsen with cancellation: ctx is polled before each
 // level is built, so a cancelled context aborts the hierarchy within
-// one matching-and-contraction round with ctx's error.
-func CoarsenCtx(ctx context.Context, adj *matrix.CSR, opt Options) (*Hierarchy, error) {
+// one matching-and-contraction round with ctx's error. Each call opens
+// a "multilevel.coarsen" span and records the hierarchy depth and
+// coarsest-level size through the obs hooks.
+func CoarsenCtx(ctx context.Context, adj *matrix.CSR, opt Options) (hier *Hierarchy, err error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("multilevel: adjacency %dx%d not square", adj.Rows, adj.Cols)
 	}
 	opt.fill()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
-	finest := &Level{Adj: adj, NodeWeight: ones(adj.Rows)}
-	h := &Hierarchy{Levels: []*Level{finest}}
+	ctx, sp := obs.StartSpan(ctx, "multilevel.coarsen", obs.A("nodes", adj.Rows))
+	h := &Hierarchy{Levels: []*Level{{Adj: adj, NodeWeight: ones(adj.Rows)}}}
+	defer func() {
+		sp.SetAttr("levels", h.Depth())
+		sp.SetAttr("coarsest_nodes", h.Coarsest().Adj.Rows)
+		sp.EndErr(err)
+		if err == nil {
+			obs.ObserveCoarsen(ctx, h.Depth(), h.Coarsest().Adj.Rows)
+		}
+	}()
 	for h.Depth() < opt.MaxLevels {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values must be
+// JSON-marshalable; the wire format renders them under "attrs".
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr (shorthand for span call sites).
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// traceSeq numbers traces within the process; combined with the
+// process start time it makes trace ids unique across restarts.
+var (
+	traceSeq  atomic.Uint64
+	traceBase = time.Now().UnixNano()
+)
+
+// Trace collects the spans of one logical operation (an HTTP request,
+// a CLI run, an async job). Create with NewTrace, begin the root span
+// with StartRoot, and read the finished tree with Tree. A Trace is
+// safe for concurrent use by the spans it owns.
+type Trace struct {
+	id string
+
+	mu     sync.Mutex
+	nextID uint64
+	spans  []*Span
+}
+
+// NewTrace returns an empty trace with a process-unique id.
+func NewTrace() *Trace {
+	return &Trace{id: fmt.Sprintf("t-%012x-%06x", traceBase&0xffffffffffff, traceSeq.Add(1))}
+}
+
+// ID returns the trace id ("t-…").
+func (t *Trace) ID() string { return t.id }
+
+// start allocates and records a new span. Spans are appended at start
+// time, so Tree's sibling order is span creation order.
+func (t *Trace) start(name string, parent uint64, attrs []Attr) *Span {
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{
+		t:      t,
+		id:     t.nextID,
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartRoot begins the root span of t and installs it in ctx so
+// StartSpan calls underneath nest beneath it. Each trace has exactly
+// one root; calling StartRoot twice is a programming error (the second
+// root would detach the tree) and panics.
+func (t *Trace) StartRoot(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t.mu.Lock()
+	rooted := len(t.spans) > 0
+	t.mu.Unlock()
+	if rooted {
+		panic("obs: StartRoot called twice on one trace")
+	}
+	s := t.start(name, 0, attrs)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// StartSpan begins a child of the context's current span and installs
+// it as the new current span. When no trace is active — the library
+// default — it returns ctx unchanged and a nil span, and every method
+// on the nil span is a safe no-op, so call sites never branch on
+// whether tracing is on.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.t.start(name, parent.id, attrs)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Span is one timed, named, attributed node of a trace.
+type Span struct {
+	t      *Trace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	end    time.Time
+	attrs  []Attr
+	errMsg string
+}
+
+// SetAttr annotates the span. Safe on a nil span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span. Safe on a nil span; the first End wins.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr closes the span, recording err (when non-nil) so failed and
+// cancelled stages stay visible in the tree instead of vanishing.
+// Safe on a nil span.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+		if err != nil {
+			s.errMsg = err.Error()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SpanNode is the wire form of a span subtree: the JSONL sink writes
+// one root node per line, GET /v1/jobs/{id}/trace returns the job's
+// root node, and StageTrace.Spans embeds it in CLI/daemon responses.
+type SpanNode struct {
+	Name    string `json:"name"`
+	TraceID string `json:"trace_id,omitempty"` // set on the root only
+	// StartUnixNano and EndUnixNano bound the span; EndUnixNano is 0
+	// for a span that never ended (a crashed or leaked stage).
+	StartUnixNano  int64          `json:"start_unix_nano"`
+	EndUnixNano    int64          `json:"end_unix_nano,omitempty"`
+	DurationMillis float64        `json:"duration_millis"`
+	Attrs          map[string]any `json:"attrs,omitempty"`
+	Error          string         `json:"error,omitempty"`
+	Children       []*SpanNode    `json:"children,omitempty"`
+}
+
+// Tree assembles the finished span tree. Spans whose parent is missing
+// (never possible through the public API) attach to the root; a trace
+// with no spans yields nil.
+func (t *Trace) Tree() *SpanNode {
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make(map[uint64]*SpanNode, len(spans))
+	var root *SpanNode
+	for _, s := range spans {
+		s.mu.Lock()
+		n := &SpanNode{
+			Name:          s.name,
+			StartUnixNano: s.start.UnixNano(),
+		}
+		if !s.end.IsZero() {
+			n.EndUnixNano = s.end.UnixNano()
+			n.DurationMillis = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+		}
+		if len(s.attrs) > 0 {
+			n.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		n.Error = s.errMsg
+		s.mu.Unlock()
+		nodes[s.id] = n
+		if s.parent == 0 && root == nil {
+			root = n
+			n.TraceID = t.id
+			continue
+		}
+		parent := nodes[s.parent]
+		if parent == nil {
+			parent = root
+		}
+		if parent != nil && parent != n {
+			parent.Children = append(parent.Children, n)
+		}
+	}
+	return root
+}
+
+// TraceSink receives finished traces: each is rendered to its span
+// tree, written as one JSON line to the writer (when one is set), and
+// retained in a bounded ring so the daemon can serve recent traces
+// without any file configured. Safe for concurrent use.
+type TraceSink struct {
+	mu       sync.Mutex
+	w        io.Writer
+	ring     []*SpanNode
+	next     int
+	exported int64
+}
+
+// NewTraceSink builds a sink writing JSONL to w (nil for ring-only)
+// and retaining the last ringSize traces (clamped to at least 1).
+func NewTraceSink(w io.Writer, ringSize int) *TraceSink {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	return &TraceSink{w: w, ring: make([]*SpanNode, 0, ringSize)}
+}
+
+// Export records the trace's span tree. Traces with no spans are
+// dropped. Write errors are reported on stderr once per call but never
+// fail the request that produced the trace.
+func (s *TraceSink) Export(t *Trace) {
+	root := t.Tree()
+	if root == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, root)
+	} else {
+		s.ring[s.next] = root
+		s.next = (s.next + 1) % cap(s.ring)
+	}
+	s.exported++
+	if s.w != nil {
+		enc := json.NewEncoder(s.w)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(root); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: trace sink write: %v\n", err)
+		}
+	}
+}
+
+// Exported returns the number of traces exported since construction.
+func (s *TraceSink) Exported() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exported
+}
+
+// Recent returns the retained traces, oldest first.
+func (s *TraceSink) Recent() []*SpanNode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*SpanNode, 0, len(s.ring))
+	if len(s.ring) < cap(s.ring) {
+		return append(out, s.ring...)
+	}
+	out = append(out, s.ring[s.next:]...)
+	return append(out, s.ring[:s.next]...)
+}

@@ -32,6 +32,7 @@ import (
 
 	"symcluster/internal/core"
 	"symcluster/internal/graph"
+	"symcluster/internal/obs"
 )
 
 // SymOptions configures a symmetrization (α, β, pruning, …). It is the
@@ -90,6 +91,10 @@ type StageTrace struct {
 	// SymmetrizedNNZ is the stored nonzero count of the symmetrized
 	// adjacency (0 when the stage was bypassed).
 	SymmetrizedNNZ int `json:"symmetrized_nnz"`
+	// Spans is the root of the span tree for this run when tracing was
+	// active (a trace installed in ctx by the caller), nil otherwise.
+	// The tree nests request → stage → kernel iteration spans.
+	Spans *obs.SpanNode `json:"spans,omitempty"`
 }
 
 // GraphStats is the degree profile a cost model consumes: the sizes
@@ -405,6 +410,13 @@ func EstimateJobBytes(sym Symmetrizer, cl Clusterer, gs GraphStats) int64 {
 // returns the clustering, the symmetrized graph (nil when bypassed),
 // and the stage trace. The trace is returned even on error, carrying
 // whatever stages completed.
+//
+// When a trace is installed in ctx (obs.Trace.StartRoot), each stage
+// runs under a "symmetrize" or "cluster" span with the stage's wire
+// name attached, and the kernels underneath add their own child spans.
+// The span tree itself is NOT folded into the returned StageTrace —
+// the trace owner (CLI or server) attaches tr.Tree() after ending the
+// root, so the tree is complete.
 func Execute(ctx context.Context, g *graph.Directed, sym Symmetrizer, symOpt SymOptions, cl Clusterer, clOpt ClusterOptions) (*Result, *graph.Undirected, *StageTrace, error) {
 	trace := &StageTrace{Clusterer: cl.Name()}
 	var u *graph.Undirected
@@ -413,21 +425,29 @@ func Execute(ctx context.Context, g *graph.Directed, sym Symmetrizer, symOpt Sym
 			return nil, nil, trace, fmt.Errorf("pipeline: %s needs a symmetrized graph but no symmetrizer was given", cl.Name())
 		}
 		trace.Symmetrizer = sym.Name()
+		symCtx, symSpan := obs.StartSpan(ctx, "symmetrize", obs.A("name", sym.Name()))
 		start := time.Now()
 		var err error
-		u, err = sym.Run(ctx, g, symOpt)
+		u, err = sym.Run(symCtx, g, symOpt)
 		trace.SymmetrizeMillis = millisSince(start)
 		if err != nil {
+			symSpan.EndErr(err)
 			return nil, nil, trace, fmt.Errorf("symmetrize: %w", err)
 		}
 		trace.SymmetrizedNNZ = u.Adj.NNZ()
+		symSpan.SetAttr("nnz", trace.SymmetrizedNNZ)
+		symSpan.End()
 	}
+	clCtx, clSpan := obs.StartSpan(ctx, "cluster", obs.A("name", cl.Name()))
 	start := time.Now()
-	res, err := cl.Run(ctx, Input{U: u, G: g}, clOpt)
+	res, err := cl.Run(clCtx, Input{U: u, G: g}, clOpt)
 	trace.ClusterMillis = millisSince(start)
 	if err != nil {
+		clSpan.EndErr(err)
 		return nil, u, trace, fmt.Errorf("cluster: %w", err)
 	}
+	clSpan.SetAttr("clusters", res.K)
+	clSpan.End()
 	return res, u, trace, nil
 }
 

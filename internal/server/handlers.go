@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
 )
 
@@ -135,15 +137,20 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			return runner(ctx)
 		})
 		if err != nil {
-			s.jobs.Finish(job.ID, nil, err, false)
+			s.jobs.Finish(job.ID, nil, nil, err, false)
 			writeError(w, httpStatus(err), err)
 			return
 		}
 		go func() {
 			res, rerr := wait()
 			s.logWorkerPanic(rerr)
-			resp, _ := res.(*ClusterResponse)
-			s.jobs.Finish(job.ID, resp, rerr, errors.Is(rerr, context.Canceled))
+			// The outcome carries the span tree even when the run
+			// errored, so failed jobs keep their trace.
+			out, _ := res.(*runOutcome)
+			if out == nil {
+				out = &runOutcome{}
+			}
+			s.jobs.Finish(job.ID, out.Resp, out.Trace, rerr, errors.Is(rerr, context.Canceled))
 		}()
 		writeJSON(w, http.StatusAccepted, JobRef{
 			JobID:    job.ID,
@@ -164,13 +171,21 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res.(*ClusterResponse))
+	writeJSON(w, http.StatusOK, res.(*runOutcome).Resp)
+}
+
+// runOutcome is what one clustering run hands back through the pool:
+// the response (nil when the run failed) and the run's span tree,
+// which survives errors so failed jobs keep their trace.
+type runOutcome struct {
+	Resp  *ClusterResponse
+	Trace *obs.SpanNode
 }
 
 // prepareRun validates a ClusterRequest against the pipeline registry
 // and returns the closure that executes it. Validation happens before
 // the request is queued so bad input never occupies a worker.
-func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*ClusterResponse, error), error) {
+func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*runOutcome, error), error) {
 	if req.GraphID == "" {
 		return nil, badRequest("graph_id is required")
 	}
@@ -223,20 +238,49 @@ func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*Cl
 		return nil, err
 	}
 
-	runner := func(ctx context.Context) (*ClusterResponse, error) {
+	runner := func(ctx context.Context) (*runOutcome, error) {
 		return s.runCluster(ctx, rg, sym, cl, opt, clOpt)
 	}
 	return runner, nil
 }
 
-// runCluster executes the two-stage pipeline for one request, serving
-// the symmetrization from cache when an identical product exists
-// (directed-input substrates skip both the stage and the cache). It
-// runs on a pool worker; the context is threaded into both stages,
+// runCluster executes the two-stage pipeline for one request under a
+// fresh trace whose root "request" span nests the "symmetrize" and
+// "cluster" stage spans (and, underneath those, the kernel spans the
+// instrumented hot loops open). The finished tree is exported to the
+// server's trace sink — including on error, so failed runs stay
+// visible — and attached to the response's StageTrace on success.
+//
+// It runs on a pool worker; the context is threaded into both stages,
 // whose kernels poll it at iteration and row-block boundaries, so a
 // client disconnect or timeout frees the worker within one block of
 // kernel work.
-func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, opt symcluster.SymmetrizeOptions, clOpt symcluster.ClusterOptions) (*ClusterResponse, error) {
+func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, opt symcluster.SymmetrizeOptions, clOpt symcluster.ClusterOptions) (*runOutcome, error) {
+	method := ""
+	if sym != nil {
+		method = sym.Name()
+	}
+	tr := obs.NewTrace()
+	ctx, root := tr.StartRoot(ctx, "request",
+		obs.A("graph_id", rg.info.ID),
+		obs.A("algorithm", cl.Name()),
+		obs.A("method", method))
+	out := &runOutcome{}
+	resp, err := s.runStages(ctx, rg, sym, cl, opt, clOpt)
+	root.EndErr(err)
+	out.Trace = tr.Tree()
+	s.traces.Export(tr)
+	if resp != nil {
+		resp.Trace.Spans = out.Trace
+		out.Resp = resp
+	}
+	return out, err
+}
+
+// runStages is the traced body of runCluster: symmetrize (served from
+// cache when an identical product exists; directed-input substrates
+// skip both the stage and the cache), then cluster.
+func (s *Server) runStages(ctx context.Context, rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, opt symcluster.SymmetrizeOptions, clOpt symcluster.ClusterOptions) (*ClusterResponse, error) {
 	resp := &ClusterResponse{
 		GraphID:   rg.info.ID,
 		Algorithm: cl.Name(),
@@ -254,16 +298,22 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeli
 			Beta:      opt.Beta,
 			Threshold: opt.Threshold,
 		}
+		symCtx, symSpan := obs.StartSpan(ctx, "symmetrize", obs.A("name", sym.Name()))
 		start := time.Now()
 		u, hit := s.cache.Get(key)
 		if !hit {
 			var err error
-			u, err = sym.Run(ctx, rg.graph, opt)
+			u, err = sym.Run(symCtx, rg.graph, opt)
 			if err != nil {
+				symSpan.EndErr(err)
 				return nil, fmt.Errorf("symmetrize: %w", err)
 			}
 			s.cache.Put(key, u)
+			s.metrics.ObserveCacheObject(GraphBytes(u))
 		}
+		symSpan.SetAttr("cache_hit", hit)
+		symSpan.SetAttr("nnz", u.Adj.NNZ())
+		symSpan.End()
 		resp.CacheHit = hit
 		resp.SymmetrizeMillis = float64(time.Since(start)) / float64(time.Millisecond)
 		trace.SymmetrizeMillis = resp.SymmetrizeMillis
@@ -282,11 +332,15 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeli
 		return nil, err
 	}
 
+	clCtx, clSpan := obs.StartSpan(ctx, "cluster", obs.A("name", cl.Name()))
 	start := time.Now()
-	res, err := cl.Run(ctx, in, clOpt)
+	res, err := cl.Run(clCtx, in, clOpt)
 	if err != nil {
+		clSpan.EndErr(err)
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	clSpan.SetAttr("clusters", res.K)
+	clSpan.End()
 	resp.ClusterMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	trace.ClusterMillis = resp.ClusterMillis
 	s.metrics.ObserveStage("cluster", cl.Name(), resp.ClusterMillis/1000)
@@ -302,7 +356,8 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeli
 func (s *Server) logWorkerPanic(err error) {
 	var pe *PanicError
 	if errors.As(err, &pe) {
-		s.logf("recovered worker panic: %v\n%s", pe.Value, pe.Stack)
+		s.log().Error("recovered worker panic",
+			"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
 	}
 }
 
@@ -316,15 +371,44 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Info())
 }
 
-// handleHealthz reports liveness; during drain it turns 503 so load
-// balancers stop routing to this instance.
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the span tree of a
+// finished async job (including failed and canceled jobs, whose traces
+// are retained precisely so the failure is debuggable).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Snapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if job.Trace == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no trace yet", job.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Trace)
+}
+
+// healthzBody is the GET /healthz response.
+type healthzBody struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleHealthz reports liveness plus build identity and uptime;
+// during drain it turns 503 so load balancers stop routing to this
+// instance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, healthzBody{
+		Status:        "ok",
+		Version:       obs.Version,
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.startTime).Seconds(),
+	})
 }
 
 // handleMetrics serves the text exposition.

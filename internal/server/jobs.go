@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"symcluster/internal/obs"
 )
 
 // JobState is the lifecycle phase of an async clustering job.
@@ -29,6 +31,10 @@ type Job struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// Trace is the run's span tree, retained for done, failed AND
+	// canceled jobs (an errored run's trace is exactly what you want
+	// when debugging why it errored). Served by GET /v1/jobs/{id}/trace.
+	Trace *obs.SpanNode
 }
 
 // JobStore tracks async jobs in memory. Finished jobs are retained (up
@@ -113,8 +119,9 @@ func (s *JobStore) Start(id string) {
 	}
 }
 
-// Finish records the outcome of a job and schedules retention.
-func (s *JobStore) Finish(id string, result *ClusterResponse, err error, canceled bool) {
+// Finish records the outcome of a job and schedules retention. trace
+// may be nil (a run rejected before it started has no span tree).
+func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNode, err error, canceled bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -122,6 +129,7 @@ func (s *JobStore) Finish(id string, result *ClusterResponse, err error, cancele
 		return
 	}
 	j.Finished = s.now()
+	j.Trace = trace
 	switch {
 	case canceled:
 		j.State = JobCanceled

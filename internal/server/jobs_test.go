@@ -17,7 +17,7 @@ func TestJobLifecycle(t *testing.T) {
 	if snap, _ := s.Snapshot(j.ID); snap.State != JobRunning {
 		t.Fatalf("state = %s", snap.State)
 	}
-	s.Finish(j.ID, &ClusterResponse{K: 3}, nil, false)
+	s.Finish(j.ID, &ClusterResponse{K: 3}, nil, nil, false)
 	snap, ok := s.Snapshot(j.ID)
 	if !ok || snap.State != JobDone || snap.Result.K != 3 {
 		t.Fatalf("snapshot = %+v, %v", snap, ok)
@@ -31,13 +31,13 @@ func TestJobFailureAndCancel(t *testing.T) {
 	s := NewJobStore(8, 0)
 	fail := s.Create()
 	s.Start(fail.ID)
-	s.Finish(fail.ID, nil, errors.New("boom"), false)
+	s.Finish(fail.ID, nil, nil, errors.New("boom"), false)
 	if snap, _ := s.Snapshot(fail.ID); snap.State != JobFailed || snap.Err != "boom" {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 
 	canc := s.Create()
-	s.Finish(canc.ID, nil, errors.New("context canceled"), true)
+	s.Finish(canc.ID, nil, nil, errors.New("context canceled"), true)
 	if snap, _ := s.Snapshot(canc.ID); snap.State != JobCanceled {
 		t.Fatalf("snapshot = %+v", snap)
 	}
@@ -55,7 +55,7 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 		j := s.Create()
 		ids = append(ids, j.ID)
 		s.Start(j.ID)
-		s.Finish(j.ID, &ClusterResponse{K: i}, nil, false)
+		s.Finish(j.ID, &ClusterResponse{K: i}, nil, nil, false)
 	}
 	for _, id := range ids[:2] {
 		if _, ok := s.Snapshot(id); ok {
@@ -71,7 +71,7 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 	live := s.Create()
 	for i := 0; i < 4; i++ {
 		j := s.Create()
-		s.Finish(j.ID, nil, nil, false)
+		s.Finish(j.ID, nil, nil, nil, false)
 	}
 	if _, ok := s.Snapshot(live.ID); !ok {
 		t.Fatal("pending job evicted by retention")
@@ -103,7 +103,7 @@ func TestJobTTLExpiry(t *testing.T) {
 
 	j := s.Create()
 	s.Start(j.ID)
-	s.Finish(j.ID, nil, nil, false)
+	s.Finish(j.ID, nil, nil, nil, false)
 
 	// Inside the TTL the finished job is still visible.
 	now = now.Add(59 * time.Second)
@@ -136,7 +136,7 @@ func TestJobTTLDisabled(t *testing.T) {
 	s := NewJobStore(10, 0)
 	s.now = func() time.Time { return now }
 	j := s.Create()
-	s.Finish(j.ID, nil, nil, false)
+	s.Finish(j.ID, nil, nil, nil, false)
 	now = now.Add(1000 * time.Hour)
 	if _, ok := s.Snapshot(j.ID); !ok {
 		t.Fatal("job expired with TTL disabled")

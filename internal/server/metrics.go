@@ -1,162 +1,112 @@
 package server
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"runtime"
+	"strconv"
 	"time"
+
+	"symcluster/internal/obs"
 )
 
-// Metrics aggregates service counters for the /metrics text exposition.
-// The format follows the Prometheus text conventions (counter and gauge
-// lines with label sets) without importing any client library, keeping
-// the daemon stdlib-only.
+// Metrics is the daemon's metric surface: an obs.Registry holding the
+// request/stage histograms, admission counters, build info, and — via
+// obs.WithMeter on request contexts — every kernel-level
+// symcluster_* histogram the compute underneath records. The /metrics
+// exposition renders the registry plus the live cache/pool/job gauges,
+// which are read at scrape time rather than double-bookkept.
+//
+// Naming convention: symclusterd_* for serving metrics owned by this
+// package, symcluster_* for library/kernel metrics recorded through
+// the hooks in internal/obs (see DESIGN.md §11).
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[requestKey]int64
-	latency  map[string]*latencyAgg
-	stages   map[stageKey]*latencyAgg
+	reg *obs.Registry
 
-	admissionRejected atomic.Int64
+	requests         *obs.Counter
+	requestSeconds   *obs.Histogram
+	stageSeconds     *obs.Histogram
+	cacheObjectBytes *obs.Histogram
+	admissionReject  *obs.Counter
 }
 
-type requestKey struct {
-	route string
-	code  int
-}
-
-// stageKey labels a pipeline-stage observation: stage is "symmetrize"
-// or "cluster", name is the registry's canonical entry name.
-type stageKey struct {
-	stage string
-	name  string
-}
-
-type latencyAgg struct {
-	sum   float64 // seconds
-	count int64
-}
-
-// NewMetrics returns an empty registry.
+// NewMetrics returns a registry with the daemon families registered.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		requests: make(map[requestKey]int64),
-		latency:  make(map[string]*latencyAgg),
-		stages:   make(map[stageKey]*latencyAgg),
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+		requests: reg.Counter("symclusterd_requests_total",
+			"Requests served, by route pattern and status code.", "route", "code"),
+		requestSeconds: reg.Histogram("symclusterd_request_seconds",
+			"Request latency in seconds, by route pattern.", obs.DurationBuckets, "route"),
+		stageSeconds: reg.Histogram("symclusterd_stage_seconds",
+			"Executed pipeline-stage wall clock in seconds (cache hits are not observed).", obs.DurationBuckets, "stage", "name"),
+		cacheObjectBytes: reg.Histogram("symclusterd_cache_object_bytes",
+			"Resident size of symmetrized graphs inserted into the cache.", obs.SizeBuckets),
+		admissionReject: reg.Counter("symclusterd_admission_rejected_total",
+			"Clustering requests rejected by the working-set byte budget."),
 	}
+	// Touch the counter so the family appears in the exposition before
+	// the first rejection (tests and dashboards rely on the zero line).
+	m.admissionReject.Add(0)
+	reg.Gauge("symclusterd_build_info",
+		"Build metadata; the value is always 1.", "version", "go_version").
+		Set(1, obs.Version, runtime.Version())
+	return m
 }
+
+// Registry exposes the underlying obs registry; request contexts carry
+// it (obs.WithMeter) so kernel hooks record into the same exposition.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveStage records the wall clock of one executed pipeline stage
 // (cache hits are not observed — only work actually done).
 func (m *Metrics) ObserveStage(stage, name string, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	agg := m.stages[stageKey{stage, name}]
-	if agg == nil {
-		agg = &latencyAgg{}
-		m.stages[stageKey{stage, name}] = agg
-	}
-	agg.sum += seconds
-	agg.count++
+	m.stageSeconds.Observe(seconds, stage, name)
 }
 
 // ObserveRequest records one served request on a route with its status
 // code and duration.
 func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[requestKey{route, code}]++
-	agg := m.latency[route]
-	if agg == nil {
-		agg = &latencyAgg{}
-		m.latency[route] = agg
-	}
-	agg.sum += d.Seconds()
-	agg.count++
+	m.requests.Inc(route, strconv.Itoa(code))
+	m.requestSeconds.Observe(d.Seconds(), route)
+}
+
+// ObserveCacheObject records the byte size of one cache insert.
+func (m *Metrics) ObserveCacheObject(bytes int64) {
+	m.cacheObjectBytes.Observe(float64(bytes))
 }
 
 // IncAdmissionRejected counts one clustering request rejected by the
 // working-set byte budget.
-func (m *Metrics) IncAdmissionRejected() { m.admissionRejected.Add(1) }
+func (m *Metrics) IncAdmissionRejected() { m.admissionReject.Inc() }
 
-// WriteTo renders the exposition. The caller supplies the live gauges
-// (cache, pool, jobs) so Metrics itself holds only request counters.
+// WriteTo renders the exposition: the registry families first, then the
+// live gauges read from the cache, pool and job store at scrape time.
 func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore) {
-	m.mu.Lock()
-	reqKeys := make([]requestKey, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	sort.Slice(reqKeys, func(i, j int) bool {
-		if reqKeys[i].route != reqKeys[j].route {
-			return reqKeys[i].route < reqKeys[j].route
-		}
-		return reqKeys[i].code < reqKeys[j].code
-	})
-	latRoutes := make([]string, 0, len(m.latency))
-	for r := range m.latency {
-		latRoutes = append(latRoutes, r)
-	}
-	sort.Strings(latRoutes)
-	stageKeys := make([]stageKey, 0, len(m.stages))
-	for k := range m.stages {
-		stageKeys = append(stageKeys, k)
-	}
-	sort.Slice(stageKeys, func(i, j int) bool {
-		if stageKeys[i].stage != stageKeys[j].stage {
-			return stageKeys[i].stage < stageKeys[j].stage
-		}
-		return stageKeys[i].name < stageKeys[j].name
-	})
+	m.reg.WriteText(w)
 
-	fmt.Fprintln(w, "# TYPE symclusterd_requests_total counter")
-	for _, k := range reqKeys {
-		fmt.Fprintf(w, "symclusterd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	p := func(help, typ, name string, v int64) {
+		io.WriteString(w, "# HELP "+name+" "+help+"\n")
+		io.WriteString(w, "# TYPE "+name+" "+typ+"\n")
+		io.WriteString(w, name+" "+strconv.FormatInt(v, 10)+"\n")
 	}
-	fmt.Fprintln(w, "# TYPE symclusterd_request_seconds summary")
-	for _, r := range latRoutes {
-		agg := m.latency[r]
-		fmt.Fprintf(w, "symclusterd_request_seconds_sum{route=%q} %.6f\n", r, agg.sum)
-		fmt.Fprintf(w, "symclusterd_request_seconds_count{route=%q} %d\n", r, agg.count)
-	}
-	fmt.Fprintln(w, "# TYPE symclusterd_stage_seconds summary")
-	for _, k := range stageKeys {
-		agg := m.stages[k]
-		fmt.Fprintf(w, "symclusterd_stage_seconds_sum{stage=%q,name=%q} %.6f\n", k.stage, k.name, agg.sum)
-		fmt.Fprintf(w, "symclusterd_stage_seconds_count{stage=%q,name=%q} %d\n", k.stage, k.name, agg.count)
-	}
-	m.mu.Unlock()
-
 	hits, misses, evictions := cache.Stats()
-	fmt.Fprintln(w, "# TYPE symclusterd_cache_hits_total counter")
-	fmt.Fprintf(w, "symclusterd_cache_hits_total %d\n", hits)
-	fmt.Fprintln(w, "# TYPE symclusterd_cache_misses_total counter")
-	fmt.Fprintf(w, "symclusterd_cache_misses_total %d\n", misses)
-	fmt.Fprintln(w, "# TYPE symclusterd_cache_evictions_total counter")
-	fmt.Fprintf(w, "symclusterd_cache_evictions_total %d\n", evictions)
-	fmt.Fprintln(w, "# TYPE symclusterd_cache_bytes gauge")
-	fmt.Fprintf(w, "symclusterd_cache_bytes %d\n", cache.Bytes())
-	fmt.Fprintln(w, "# TYPE symclusterd_cache_entries gauge")
-	fmt.Fprintf(w, "symclusterd_cache_entries %d\n", cache.Len())
+	p("Symmetrization cache hits.", "counter", "symclusterd_cache_hits_total", hits)
+	p("Symmetrization cache misses.", "counter", "symclusterd_cache_misses_total", misses)
+	p("Symmetrization cache evictions.", "counter", "symclusterd_cache_evictions_total", evictions)
+	p("Bytes resident in the symmetrization cache.", "gauge", "symclusterd_cache_bytes", cache.Bytes())
+	p("Entries resident in the symmetrization cache.", "gauge", "symclusterd_cache_entries", int64(cache.Len()))
 
-	fmt.Fprintln(w, "# TYPE symclusterd_queue_depth gauge")
-	fmt.Fprintf(w, "symclusterd_queue_depth %d\n", pool.QueueDepth())
-	fmt.Fprintln(w, "# TYPE symclusterd_workers_busy gauge")
-	fmt.Fprintf(w, "symclusterd_workers_busy %d\n", pool.Busy())
-	fmt.Fprintln(w, "# TYPE symclusterd_workers_total gauge")
-	fmt.Fprintf(w, "symclusterd_workers_total %d\n", pool.Workers())
-	fmt.Fprintln(w, "# TYPE symclusterd_panics_recovered_total counter")
-	fmt.Fprintf(w, "symclusterd_panics_recovered_total %d\n", pool.PanicsRecovered())
-	fmt.Fprintln(w, "# TYPE symclusterd_admission_rejected_total counter")
-	fmt.Fprintf(w, "symclusterd_admission_rejected_total %d\n", m.admissionRejected.Load())
-	fmt.Fprintln(w, "# TYPE symclusterd_jobs_expired_total counter")
-	fmt.Fprintf(w, "symclusterd_jobs_expired_total %d\n", jobs.Expired())
+	p("Tasks waiting for a worker.", "gauge", "symclusterd_queue_depth", int64(pool.QueueDepth()))
+	p("Workers currently running a task.", "gauge", "symclusterd_workers_busy", int64(pool.Busy()))
+	p("Worker-pool size.", "gauge", "symclusterd_workers_total", int64(pool.Workers()))
+	p("Worker panics recovered.", "counter", "symclusterd_panics_recovered_total", pool.PanicsRecovered())
+	p("Finished async jobs dropped by TTL expiry.", "counter", "symclusterd_jobs_expired_total", jobs.Expired())
 
-	fmt.Fprintln(w, "# TYPE symclusterd_jobs gauge")
+	io.WriteString(w, "# HELP symclusterd_jobs Async jobs by state.\n")
+	io.WriteString(w, "# TYPE symclusterd_jobs gauge\n")
 	counts := jobs.Counts()
 	for _, st := range []JobState{JobPending, JobRunning, JobDone, JobFailed, JobCanceled} {
-		fmt.Fprintf(w, "symclusterd_jobs{state=%q} %d\n", st, counts[st])
+		io.WriteString(w, "symclusterd_jobs{state=\""+string(st)+"\"} "+strconv.Itoa(counts[st])+"\n")
 	}
 }

@@ -3,11 +3,18 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"time"
+
+	"symcluster/internal/obs"
 )
+
+// requestSeq numbers requests within the process for the request_id
+// log attribute.
+var requestSeq atomic.Int64
 
 // statusRecorder captures the status code written by a handler so the
 // request-accounting middleware can label its counters.
@@ -31,17 +38,27 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // instrument wraps a handler with panic recovery, a request body cap,
 // and request/latency accounting under the given route label. It is
 // applied per route so the label is the registered pattern, not the
-// raw (unbounded-cardinality) URL path.
+// raw (unbounded-cardinality) URL path. It also assigns the request a
+// process-unique request_id, installs a logger carrying it in the
+// request context (obs.Log), and installs the metrics registry so
+// kernel hooks underneath record into /metrics.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := "r-" + strconv.FormatInt(requestSeq.Add(1), 10)
+		log := s.log().With("request_id", reqID, "route", route)
+		ctx := obs.WithLogger(r.Context(), log)
+		ctx = obs.WithMeter(ctx, s.metrics.Registry())
+		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w}
 		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
 			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 		}
 		defer func() {
 			if p := recover(); p != nil {
-				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				log.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				if rec.code == 0 {
 					writeError(rec, http.StatusInternalServerError, fmt.Errorf("internal error"))
 				}
@@ -51,19 +68,12 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				code = http.StatusOK
 			}
 			s.metrics.ObserveRequest(route, code, time.Since(start))
+			log.Debug("request served",
+				"method", r.Method, "path", r.URL.Path,
+				"code", code, "millis", float64(time.Since(start))/float64(time.Millisecond))
 		}()
 		h(rec, r)
 	}
-}
-
-// logf logs through the configured logger, or the standard logger when
-// none was set.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-		return
-	}
-	log.Printf(format, args...)
 }
 
 // writeJSON renders v with a status code. Encoding errors past the

@@ -3,13 +3,14 @@ package server
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
 )
 
@@ -39,9 +40,13 @@ type Config struct {
 	// negative disables the check (the default; cmd/symclusterd sets
 	// 4 GiB).
 	MaxJobBytes int64
-	// Logger receives request and lifecycle logs; nil means the
-	// standard logger.
-	Logger *log.Logger
+	// Logger receives request and lifecycle logs; nil means
+	// slog.Default(). cmd/symclusterd installs a JSON-handler logger.
+	Logger *slog.Logger
+	// TraceSink receives the span tree of every clustering run (JSONL
+	// file and/or in-memory ring; see obs.NewTraceSink). Nil means a
+	// ring-only sink sized for the trace endpoint.
+	TraceSink *obs.TraceSink
 }
 
 func (c Config) withDefaults() Config {
@@ -70,12 +75,14 @@ func (c Config) withDefaults() Config {
 // cache, a bounded worker pool and an async job store behind a JSON
 // HTTP API. Construct with New, mount Handler, stop with Drain.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	pool    *Pool
-	cache   *Cache
-	jobs    *JobStore
-	metrics *Metrics
+	cfg       Config
+	mux       *http.ServeMux
+	pool      *Pool
+	cache     *Cache
+	jobs      *JobStore
+	metrics   *Metrics
+	traces    *obs.TraceSink
+	startTime time.Time
 
 	graphMu  sync.RWMutex
 	graphs   map[string]*registeredGraph
@@ -97,16 +104,29 @@ type registeredGraph struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:   NewCache(cfg.CacheBytes),
-		jobs:    NewJobStore(cfg.RetainJobs, cfg.JobTTL),
-		metrics: NewMetrics(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:     NewCache(cfg.CacheBytes),
+		jobs:      NewJobStore(cfg.RetainJobs, cfg.JobTTL),
+		metrics:   NewMetrics(),
+		traces:    cfg.TraceSink,
+		startTime: time.Now(),
+	}
+	if s.traces == nil {
+		s.traces = obs.NewTraceSink(nil, 64)
 	}
 	s.graphs = make(map[string]*registeredGraph)
 	s.routes()
 	return s
+}
+
+// log returns the configured logger, or slog.Default().
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
 }
 
 func (s *Server) routes() {
@@ -117,6 +137,7 @@ func (s *Server) routes() {
 	route("GET /v1/graphs/{id}", s.handleGetGraph)
 	route("POST /v1/cluster", s.handleCluster)
 	route("GET /v1/jobs/{id}", s.handleGetJob)
+	route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
 }

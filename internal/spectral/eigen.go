@@ -15,6 +15,7 @@ import (
 
 	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
+	"symcluster/internal/obs"
 )
 
 // tql2 computes all eigenvalues and eigenvectors of a symmetric
@@ -172,8 +173,10 @@ func TopEigen(op MatVec, k int, opt LanczosOptions) (*Eigen, error) {
 
 // TopEigenCtx is TopEigen with cancellation: ctx is polled before each
 // Lanczos step, so a cancelled context aborts the factorisation within
-// one operator application with ctx's error.
-func TopEigenCtx(ctx context.Context, op MatVec, k int, opt LanczosOptions) (*Eigen, error) {
+// one operator application with ctx's error. Each call opens a
+// "spectral.lanczos" span and records per-step off-diagonal residuals
+// and the final basis size through the obs hooks.
+func TopEigenCtx(ctx context.Context, op MatVec, k int, opt LanczosOptions) (eig *Eigen, err error) {
 	n := op.Dim()
 	if k < 1 {
 		return nil, fmt.Errorf("spectral: k = %d, want >= 1", k)
@@ -199,6 +202,14 @@ func TopEigenCtx(ctx context.Context, op MatVec, k int, opt LanczosOptions) (*Ei
 	// Lanczos vectors, kept for full reorthogonalisation and Ritz
 	// vector assembly.
 	v := make([][]float64, 0, steps+1)
+	var sp *obs.Span
+	ctx, sp = obs.StartSpan(ctx, "spectral.lanczos",
+		obs.A("dim", n), obs.A("k", k), obs.A("max_steps", steps))
+	defer func() {
+		sp.SetAttr("basis_size", len(v))
+		sp.EndErr(err)
+		obs.ObserveLanczosRun(ctx, len(v))
+	}()
 	alpha := make([]float64, 0, steps)
 	beta := make([]float64, 0, steps) // beta[i] links v[i] and v[i+1]
 
@@ -228,6 +239,7 @@ func TopEigenCtx(ctx context.Context, op MatVec, k int, opt LanczosOptions) (*Ei
 			}
 		}
 		b := norm(w)
+		obs.ObserveLanczosStep(ctx, b)
 		if j == steps-1 {
 			break
 		}

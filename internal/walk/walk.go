@@ -12,6 +12,7 @@ import (
 
 	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
+	"symcluster/internal/obs"
 )
 
 // DefaultTeleport is the uniform teleport probability the paper uses
@@ -66,8 +67,10 @@ func StationaryDistribution(p *matrix.CSR, opt Options) ([]float64, error) {
 
 // StationaryDistributionCtx is StationaryDistribution with
 // cancellation: ctx is polled once per power iteration, so a cancelled
-// context aborts the walk within one iteration with ctx's error.
-func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) ([]float64, error) {
+// context aborts the walk within one iteration with ctx's error. Each
+// call opens a "walk.power" span and records per-iteration L1 deltas
+// through the obs hooks (no-ops without a trace/meter in ctx).
+func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) (dist []float64, err error) {
 	opt.fill()
 	n := p.Rows
 	if n == 0 {
@@ -76,6 +79,14 @@ func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) 
 	if opt.Teleport < 0 || opt.Teleport >= 1 {
 		return nil, fmt.Errorf("walk: teleport %v outside [0,1)", opt.Teleport)
 	}
+	ctx, sp := obs.StartSpan(ctx, "walk.power",
+		obs.A("nodes", n), obs.A("teleport", opt.Teleport))
+	iters := 0
+	defer func() {
+		sp.SetAttr("iterations", iters)
+		sp.EndErr(err)
+		obs.ObserveWalkRun(ctx, iters)
+	}()
 
 	dangling := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -121,6 +132,8 @@ func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) 
 			delta += math.Abs(next[i] - pi[i])
 			sum += next[i]
 		}
+		iters = iter + 1
+		obs.ObserveWalkIteration(ctx, delta)
 		// Renormalise to guard against floating-point drift.
 		inv := 1 / sum
 		for i := range next {
