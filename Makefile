@@ -12,9 +12,9 @@ FUZZTIME ?= 5s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X symcluster/internal/obs.Version=$(VERSION)
 
-.PHONY: check fmt vet lint build test race fuzz test-long
+.PHONY: check fmt vet lint build test race fuzz crash test-long
 
-check: fmt vet lint build test race fuzz
+check: fmt vet lint build test race crash fuzz
 	@echo "check: ok"
 
 fmt:
@@ -46,6 +46,13 @@ lint:
 	if [ -n "$$out" ]; then \
 		echo "lint: log.Printf/fmt.Println in internal/ or cmd/symclusterd" \
 			"(use log/slog via internal/obs instead):"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rn --include='*.go' --exclude='*_test.go' -E '\bos\.(WriteFile|Create|OpenFile|Rename)\(' \
+		./internal/server || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: direct file writes in internal/server" \
+			"(job state must go through internal/jobstore so every" \
+			"mutation is WAL-journaled and crash-safe, DESIGN.md §12):"; \
+		echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -55,6 +62,14 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# The kill-restart e2e: SIGKILL the daemon mid-MCL-iteration, restart
+# on the same -data-dir, and require the job to resume from its last
+# WAL checkpoint with the same answer an uninterrupted run gives
+# (DESIGN.md §12). Runs under -race with a per-iteration checkpoint so
+# the recovery path is exercised on every pre-merge check.
+crash:
+	$(GO) test -race -short -run 'TestCrashRecovery' ./internal/server
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph

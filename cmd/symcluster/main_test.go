@@ -76,7 +76,10 @@ func TestCLIServerParity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := server.New(server.Config{Workers: 1})
+	s, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {

@@ -8,8 +8,10 @@
 // Usage:
 //
 //	symclusterd [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
-//	            [-max-body-mb MB] [-max-job-mb MB] [-timeout D]
-//	            [-job-ttl D] [-drain-timeout D] [-preload graph.edges]
+//	            [-max-body-mb MB] [-max-job-mb MB] [-max-queue-mb MB]
+//	            [-timeout D] [-job-ttl D] [-drain-timeout D]
+//	            [-data-dir DIR] [-checkpoint-iters N]
+//	            [-preload graph.edges]
 //	            [-log-format json|text] [-log-level LEVEL]
 //	            [-trace-log FILE] [-trace-ring N] [-debug-addr ADDR]
 //
@@ -19,7 +21,17 @@
 //
 // -max-job-mb is admission control: requests whose estimated working
 // set exceeds the budget are rejected with 413 before they occupy a
-// worker. -job-ttl expires finished async job results.
+// worker. -max-queue-mb is overload shedding: once the summed
+// estimates of queued jobs reach it, new clustering requests get 429
+// with Retry-After. -job-ttl expires finished async job results.
+//
+// Durability (see README.md "Durability & retries" and DESIGN.md §12):
+// -data-dir journals every async job to a write-ahead log, persists
+// uploaded graphs, and checkpoints kernel state every
+// -checkpoint-iters iterations, so a crash or preempted drain resumes
+// interrupted jobs on the next boot instead of losing them. POST
+// /v1/cluster accepts an Idempotency-Key header; retried submissions
+// with the same key return the original job.
 //
 // Observability (see README.md "Observability" and DESIGN.md §11):
 // logs are structured (JSON by default; -log-format text for humans),
@@ -60,6 +72,9 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "symmetrization cache budget in MiB")
 	maxBodyMB := flag.Int64("max-body-mb", 64, "maximum request body in MiB")
 	maxJobMB := flag.Int64("max-job-mb", 4096, "estimated working-set budget per clustering job in MiB; 0 disables admission control")
+	maxQueueMB := flag.Int64("max-queue-mb", 0, "summed working-set budget of queued jobs in MiB before shedding with 429; 0 disables")
+	dataDir := flag.String("data-dir", "", "directory for the durable job WAL and persisted graphs; empty keeps jobs in memory only")
+	checkpointIters := flag.Int("checkpoint-iters", 25, "kernel iterations between WAL checkpoints of durable async jobs")
 	timeout := flag.Duration("timeout", 60*time.Second, "synchronous request deadline")
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results; 0 keeps them until evicted")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
@@ -106,17 +121,26 @@ func main() {
 		sink = obs.NewTraceSink(nil, *traceRing)
 	}
 
-	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     *cacheMB << 20,
-		MaxBodyBytes:   *maxBodyMB << 20,
-		MaxJobBytes:    *maxJobMB << 20,
-		RequestTimeout: *timeout,
-		JobTTL:         *jobTTL,
-		Logger:         logger,
-		TraceSink:      sink,
+	srv, err := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      *cacheMB << 20,
+		MaxBodyBytes:    *maxBodyMB << 20,
+		MaxJobBytes:     *maxJobMB << 20,
+		MaxQueueBytes:   *maxQueueMB << 20,
+		RequestTimeout:  *timeout,
+		JobTTL:          *jobTTL,
+		DataDir:         *dataDir,
+		CheckpointIters: *checkpointIters,
+		Logger:          logger,
+		TraceSink:       sink,
 	})
+	if err != nil {
+		fatal("initializing server", "err", err)
+	}
+	if *dataDir != "" {
+		logger.Info("durable jobs enabled", "data_dir", *dataDir, "checkpoint_iters", *checkpointIters)
+	}
 
 	if *preload != "" {
 		g, err := symcluster.ReadEdgeListFile(*preload)
@@ -172,8 +196,12 @@ func main() {
 		logger.Warn("shutdown: http", "err", err)
 	}
 	if err := srv.Drain(shutdownCtx); err != nil {
+		srv.Close()
 		logger.Error("shutdown: drain incomplete", "err", err)
 		os.Exit(1)
+	}
+	if err := srv.Close(); err != nil {
+		logger.Warn("shutdown: closing job store", "err", err)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("serve", "err", err)

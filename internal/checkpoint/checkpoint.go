@@ -1,0 +1,95 @@
+// Package checkpoint carries kernel checkpoint sinks through contexts.
+//
+// Long-running iterative kernels (R-MCL flow iteration, random-walk
+// power iteration) periodically hand their in-progress state — a
+// serialized flow matrix or π vector plus the iteration counter — to a
+// Sink installed in the request context. The serving layer persists
+// those snapshots in the WAL-backed job store; when a job is replayed
+// after a crash or a drain, the same sink feeds the last snapshot back
+// through Restore and the kernel resumes mid-iteration instead of from
+// scratch.
+//
+// The package intentionally knows nothing about jobs or storage: a Sink
+// is any consumer of (kernel, iteration, blob) triples. Kernels that
+// find no sink in their context run exactly as before — the hooks cost
+// one nil check per iteration.
+//
+// Restore matching: a single job may invoke the same kernel several
+// times (e.g. a random-walk symmetrization solves two stationary
+// distributions). Sinks are expected to count Restore calls per kernel
+// name and only return ok for the invocation whose saved sequence
+// number matches, so a snapshot from solve #2 can never leak into a
+// replayed solve #1.
+package checkpoint
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Sink receives kernel snapshots and replays them on resume.
+// Implementations must be safe for concurrent use by a single job's
+// kernels (which run sequentially today, but nothing enforces that).
+type Sink interface {
+	// Interval is the checkpoint cadence in iterations; kernels save
+	// every Interval iterations. Non-positive disables periodic saves
+	// (kernels may still save on cancellation).
+	Interval() int
+	// Restore returns the snapshot for this invocation of kernel, if
+	// one exists. ok reports whether iter/blob are valid. Each call
+	// consumes one invocation slot for the kernel (see package doc).
+	Restore(kernel string) (iter int, blob []byte, ok bool)
+	// Save persists a snapshot taken after completing iteration iter
+	// (i.e. a restore with this blob continues at iteration iter).
+	Save(kernel string, iter int, blob []byte) error
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying sink.
+func With(ctx context.Context, sink Sink) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sink)
+}
+
+// FromContext returns the sink installed in ctx, or nil.
+func FromContext(ctx context.Context) Sink {
+	s, _ := ctx.Value(ctxKey{}).(Sink)
+	return s
+}
+
+// Vector codec: "VEC1" magic, u64 length, then float64 values, all
+// little-endian. Used for the random-walk π vector.
+
+var vecMagic = [4]byte{'V', 'E', 'C', '1'}
+
+// EncodeVector serializes v in the VEC1 format.
+func EncodeVector(v []float64) []byte {
+	buf := make([]byte, 4+8+8*len(v))
+	copy(buf, vecMagic[:])
+	binary.LittleEndian.PutUint64(buf[4:], uint64(len(v)))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// DecodeVector parses a VEC1 blob, verifying it holds exactly n values.
+func DecodeVector(blob []byte, n int) ([]float64, error) {
+	if len(blob) < 12 || [4]byte(blob[:4]) != vecMagic {
+		return nil, fmt.Errorf("checkpoint: not a VEC1 blob")
+	}
+	m := binary.LittleEndian.Uint64(blob[4:])
+	if m != uint64(n) {
+		return nil, fmt.Errorf("checkpoint: vector length %d, want %d", m, n)
+	}
+	if uint64(len(blob)) != 12+8*m {
+		return nil, fmt.Errorf("checkpoint: VEC1 blob truncated: %d bytes for %d values", len(blob), m)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[12+8*i:]))
+	}
+	return v, nil
+}

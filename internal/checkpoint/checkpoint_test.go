@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	v := []float64{0, 1.5, -2.25, math.Pi, math.SmallestNonzeroFloat64}
+	blob := EncodeVector(v)
+	got, err := DecodeVector(blob, len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("v[%d] = %v, want %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestDecodeVectorRejects(t *testing.T) {
+	blob := EncodeVector([]float64{1, 2, 3})
+	if _, err := DecodeVector(blob, 4); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := DecodeVector(blob[:len(blob)-1], 3); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := DecodeVector([]byte("BAD1xxxxxxxx"), 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeVector(nil, 0); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+}
+
+type nopSink struct{}
+
+func (nopSink) Interval() int                      { return 1 }
+func (nopSink) Restore(string) (int, []byte, bool) { return 0, nil, false }
+func (nopSink) Save(string, int, []byte) error     { return nil }
+
+func TestContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("sink from empty context")
+	}
+	ctx := With(context.Background(), nopSink{})
+	if FromContext(ctx) == nil {
+		t.Fatal("installed sink not found")
+	}
+}

@@ -20,9 +20,13 @@
 //	cache.put         inside the symmetrization cache insert
 //	core.symmetrize   entry of every symmetrization
 //	mcl.iterate       each R-MCL iteration
+//	mcl.checkpoint    each R-MCL flow-matrix checkpoint save
 //	walk.power        each stationary-distribution power iteration
+//	walk.checkpoint   each power-iteration π checkpoint save
 //	spectral.lanczos  each Lanczos step
 //	multilevel.level  each coarsening level
+//	jobstore.append   each WAL record append (before the write)
+//	jobstore.compact  each WAL compaction (before the rewrite)
 //
 // Sites where no error can propagate (the cache, whose API is
 // infallible) honour only Panic and Delay faults; the returned error is

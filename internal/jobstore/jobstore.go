@@ -1,0 +1,539 @@
+// Package jobstore is the durability layer under symclusterd's async
+// jobs: a write-ahead-logged, fsync'd on-disk store of job lifecycle
+// records plus the kernel checkpoints that let an interrupted run
+// resume mid-iteration. internal/server keeps its in-memory job map as
+// the fast read path and journals every mutation here; on startup the
+// replayed records rebuild that map and re-enqueue interrupted work.
+//
+// Layout under the data directory:
+//
+//	wal           the job journal (framed records, see wal.go)
+//	graphs/       one edge-list file per registered graph, written
+//	              atomically (tmp + fsync + rename), so replayed jobs
+//	              can re-resolve their graph after a restart
+//
+// The WAL is length-prefixed and CRC32-framed; replay truncates any
+// torn tail (a crash mid-append) at the last intact frame, so a crash
+// can lose at most the record being written — it can never corrupt or
+// resurrect a job. Records are JSON inside the frame: the volume is a
+// handful of records per job, so debuggability beats density.
+//
+// Compaction rewrites the log as one snapshot record per live job once
+// the file grows past CompactThreshold, bounding disk usage under
+// long-running churn. The rewrite goes to a temporary file that is
+// fsync'd and renamed over the log, so a crash mid-compaction leaves
+// either the old log or the new one, never a mix.
+//
+// Fault injection: the "jobstore.append" site fires before every WAL
+// append and "jobstore.compact" before every compaction rewrite, so
+// chaos tests can exercise torn writes and failed compactions.
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"symcluster/internal/faultinject"
+)
+
+// State is the persisted lifecycle phase of a job. The values mirror
+// internal/server's JobState; jobstore keeps its own copy so the
+// dependency points upward only.
+type State string
+
+// Job lifecycle states as persisted.
+const (
+	Pending  State = "pending"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Checkpoint is one kernel checkpoint: the serialized mid-iteration
+// state of a compute kernel ("mcl" flow matrix, "walk" π vector).
+type Checkpoint struct {
+	// Seq is which invocation of the kernel within the job produced the
+	// checkpoint (1-based): a job may run the same kernel more than once
+	// (e.g. two power-iteration solves), and a checkpoint must only be
+	// restored into the invocation that wrote it.
+	Seq int `json:"seq"`
+	// Iter is the number of kernel iterations completed at the moment of
+	// the checkpoint; the restored run resumes there.
+	Iter int `json:"iter"`
+	// Blob is the kernel-defined serialized state.
+	Blob []byte `json:"blob"`
+}
+
+// JobRecord is the durable state of one job, as rebuilt by replay.
+type JobRecord struct {
+	ID             string `json:"id"`
+	State          State  `json:"state"`
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Request is the original ClusterRequest JSON, replayed on startup
+	// to rebuild the run.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Result is the ClusterResponse JSON of a done job, so results
+	// survive restarts and idempotent retries of finished work are
+	// answered without recomputing.
+	Result   json.RawMessage `json:"result,omitempty"`
+	Err      string          `json:"err,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started,omitempty"`
+	Finished time.Time       `json:"finished,omitempty"`
+	// Checkpoints holds the latest checkpoint per kernel for a job that
+	// has not finished; cleared on finish.
+	Checkpoints map[string]Checkpoint `json:"checkpoints,omitempty"`
+}
+
+// record is one WAL entry. Op selects which fields are meaningful.
+type record struct {
+	// Op is "create", "start", "requeue", "checkpoint", "finish",
+	// "drop", or "snapshot" (compaction's whole-job form).
+	Op   string    `json:"op"`
+	Time time.Time `json:"time,omitempty"`
+	// Job carries the full record for create and snapshot.
+	Job *JobRecord `json:"job,omitempty"`
+	// ID addresses every other op.
+	ID     string          `json:"id,omitempty"`
+	Kernel string          `json:"kernel,omitempty"`
+	Ckpt   *Checkpoint     `json:"ckpt,omitempty"`
+	State  State           `json:"state,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// Store is the WAL-backed job store. All methods are safe for
+// concurrent use. The in-memory record map mirrors the log exactly and
+// exists so compaction can rewrite the live set without re-reading the
+// file.
+type Store struct {
+	// CompactThreshold is the log size in bytes past which appends
+	// trigger a compaction (set before concurrent use; defaults to
+	// 4 MiB in Open).
+	CompactThreshold int64
+
+	mu     sync.Mutex
+	dir    string
+	w      *wal
+	jobs   map[string]*JobRecord
+	order  []string // creation order, for deterministic replay
+	maxSeq int64
+
+	appends     int64
+	compactions int64
+}
+
+// Open opens (creating if needed) the store rooted at dir, replays the
+// WAL — truncating any torn tail — and returns the store ready for
+// appends. Jobs that were running when the previous process died are
+// re-marked pending: they will be re-enqueued, not silently lost.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "graphs"), 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: creating data dir: %w", err)
+	}
+	w, payloads, err := openWAL(filepath.Join(dir, "wal"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		CompactThreshold: 4 << 20,
+		dir:              dir,
+		w:                w,
+		jobs:             make(map[string]*JobRecord),
+	}
+	for _, p := range payloads {
+		var rec record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			// A frame that passes its checksum but does not decode is
+			// treated exactly like a torn tail: stop replaying here.
+			// Better to lose the suffix than resurrect a corrupt job.
+			break
+		}
+		s.applyLocked(&rec)
+	}
+	// Running jobs were interrupted by the crash or kill: they resume
+	// as pending so the caller re-enqueues them.
+	interrupted := false
+	for _, j := range s.jobs {
+		if j.State == Running {
+			j.State = Pending
+			interrupted = true
+		}
+	}
+	// Compact on open when the log has grown well past its live state
+	// (or if interrupted-job states need rewriting anyway and the log
+	// is already over threshold).
+	if s.w.bytes > s.CompactThreshold || (interrupted && s.w.bytes > s.CompactThreshold/2) {
+		if err := s.compactLocked(); err != nil {
+			s.w.close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// applyLocked folds one replayed or freshly appended record into the
+// in-memory mirror.
+func (s *Store) applyLocked(rec *record) {
+	switch rec.Op {
+	case "create", "snapshot":
+		if rec.Job == nil || rec.Job.ID == "" {
+			return
+		}
+		j := *rec.Job
+		if j.State == "" {
+			j.State = Pending
+		}
+		if _, exists := s.jobs[j.ID]; !exists {
+			s.order = append(s.order, j.ID)
+		}
+		s.jobs[j.ID] = &j
+		if seq := jobSeq(j.ID); seq > s.maxSeq {
+			s.maxSeq = seq
+		}
+	case "start":
+		if j := s.jobs[rec.ID]; j != nil {
+			j.State = Running
+			j.Started = rec.Time
+		}
+	case "requeue":
+		if j := s.jobs[rec.ID]; j != nil {
+			j.State = Pending
+			j.Started = time.Time{}
+		}
+	case "checkpoint":
+		if j := s.jobs[rec.ID]; j != nil && rec.Ckpt != nil {
+			if j.Checkpoints == nil {
+				j.Checkpoints = make(map[string]Checkpoint)
+			}
+			j.Checkpoints[rec.Kernel] = *rec.Ckpt
+		}
+	case "finish":
+		if j := s.jobs[rec.ID]; j != nil {
+			j.State = rec.State
+			j.Result = rec.Result
+			j.Err = rec.Err
+			j.Finished = rec.Time
+			j.Checkpoints = nil // resumable state is dead weight now
+		}
+	case "drop":
+		if _, ok := s.jobs[rec.ID]; ok {
+			delete(s.jobs, rec.ID)
+			for i, id := range s.order {
+				if id == rec.ID {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// jobSeq parses the numeric suffix of a "job-NNNNNN" id, so the id
+// sequence resumes past every replayed job after a restart.
+func jobSeq(id string) int64 {
+	suffix, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(suffix, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// appendLocked journals one record (fault-injectable at
+// "jobstore.append") and folds it into the mirror only after the write
+// succeeded, so memory never runs ahead of disk.
+func (s *Store) appendLocked(rec *record) error {
+	if err := faultinject.Fire("jobstore.append"); err != nil {
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding record: %w", err)
+	}
+	if err := s.w.append(payload); err != nil {
+		return err
+	}
+	s.appends++
+	s.applyLocked(rec)
+	return nil
+}
+
+// Create journals a new job. The record's ID, Created time and state
+// must be set by the caller (state defaults to pending).
+func (s *Store) Create(j *JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(&record{Op: "create", Job: j})
+}
+
+// Start journals the pending→running transition.
+func (s *Store) Start(id string, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(&record{Op: "start", ID: id, Time: t})
+}
+
+// Requeue journals a preempted job going back to pending (graceful
+// drain checkpointed it; the next boot finishes it).
+func (s *Store) Requeue(id string, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(&record{Op: "requeue", ID: id, Time: t})
+}
+
+// SaveCheckpoint journals the latest checkpoint of one kernel
+// invocation within a job, replacing any previous checkpoint for that
+// kernel.
+func (s *Store) SaveCheckpoint(id, kernel string, ck Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(&record{Op: "checkpoint", ID: id, Kernel: kernel, Ckpt: &ck})
+}
+
+// Finish journals the terminal state of a job (done/failed/canceled)
+// with its result or error, then compacts if the log has outgrown its
+// threshold — finishes are where checkpoint weight becomes garbage.
+func (s *Store) Finish(id string, state State, result json.RawMessage, errMsg string, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(&record{Op: "finish", ID: id, State: state, Result: result, Err: errMsg, Time: t}); err != nil {
+		return err
+	}
+	return s.maybeCompactLocked()
+}
+
+// Drop journals the removal of a job (retention eviction or TTL
+// expiry).
+func (s *Store) Drop(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(&record{Op: "drop", ID: id}); err != nil {
+		return err
+	}
+	return s.maybeCompactLocked()
+}
+
+// Jobs returns a deep copy of every live record in creation order —
+// the replay surface the server rebuilds its job map from.
+func (s *Store) Jobs() []*JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			out = append(out, copyRecord(j))
+		}
+	}
+	return out
+}
+
+// Lookup returns a deep copy of one record.
+func (s *Store) Lookup(id string) (*JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return copyRecord(j), true
+}
+
+func copyRecord(j *JobRecord) *JobRecord {
+	c := *j
+	if j.Checkpoints != nil {
+		c.Checkpoints = make(map[string]Checkpoint, len(j.Checkpoints))
+		for k, v := range j.Checkpoints {
+			c.Checkpoints[k] = v
+		}
+	}
+	return &c
+}
+
+// MaxSeq returns the highest numeric job-id suffix seen, so a restarted
+// server's id sequence never collides with a replayed job.
+func (s *Store) MaxSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSeq
+}
+
+// maybeCompactLocked compacts when the log has outgrown its threshold.
+func (s *Store) maybeCompactLocked() error {
+	if s.CompactThreshold > 0 && s.w.bytes > s.CompactThreshold {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact rewrites the log as one snapshot record per live job.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked writes the snapshot to wal.compacting, fsyncs it, and
+// renames it over the log — crash-atomic on POSIX filesystems. The
+// "jobstore.compact" fault site fires before any byte is written, and
+// any error aborts with the old log intact.
+func (s *Store) compactLocked() error {
+	if err := faultinject.Fire("jobstore.compact"); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	tmpPath := filepath.Join(s.dir, "wal.compacting")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	nw := &wal{f: tmp, path: tmpPath}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		payload, err := json.Marshal(&record{Op: "snapshot", Job: j})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("jobstore: compact: %w", err)
+		}
+		if err := nw.append(payload); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	walPath := filepath.Join(s.dir, "wal")
+	if err := os.Rename(tmpPath, walPath); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	syncDir(s.dir)
+	s.w.close()
+	nw.path = walPath
+	s.w = nw
+	s.compactions++
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable. Errors
+// are ignored: the rename already happened and some filesystems refuse
+// directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close releases the WAL handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.close()
+}
+
+// LogBytes returns the current WAL size, for the wal-bytes gauge.
+func (s *Store) LogBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.bytes
+}
+
+// Appends returns the number of records journaled since Open.
+func (s *Store) Appends() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appends
+}
+
+// Compactions returns the number of compactions performed since Open.
+func (s *Store) Compactions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
+}
+
+// SaveGraph persists a registered graph's edge-list bytes under the
+// graphs/ directory, atomically (tmp + fsync + rename). Graph ids are
+// content-derived, so an already-present file is already correct and
+// the save is a no-op.
+func (s *Store) SaveGraph(id string, data []byte) error {
+	if id == "" || strings.ContainsAny(id, "/\\") {
+		return fmt.Errorf("jobstore: bad graph id %q", id)
+	}
+	path := filepath.Join(s.dir, "graphs", id+".edges")
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: saving graph: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: saving graph: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: saving graph: %w", err)
+	}
+	f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: saving graph: %w", err)
+	}
+	syncDir(filepath.Join(s.dir, "graphs"))
+	return nil
+}
+
+// ForEachGraph calls fn with every persisted graph's id and edge-list
+// bytes, in sorted id order. A fn error stops the walk.
+func (s *Store) ForEachGraph(fn func(id string, data []byte) error) error {
+	dir := filepath.Join(s.dir, "graphs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("jobstore: listing graphs: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".edges") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("jobstore: reading graph %s: %w", name, err)
+		}
+		if err := fn(strings.TrimSuffix(name, ".edges"), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

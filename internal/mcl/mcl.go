@@ -19,11 +19,13 @@
 package mcl
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"symcluster/internal/checkpoint"
 	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 	"symcluster/internal/multilevel"
@@ -133,7 +135,7 @@ func ClusterCtx(ctx context.Context, adj *matrix.CSR, opt Options) (*Result, err
 	if !opt.Multilevel || adj.Rows <= opt.CoarsenTo {
 		mgt := regularizer(adj, opt.SelfLoopWeight)
 		flow := initialFlow(mgt, opt)
-		iters, err := iterate(ctx, &flow, mgt, opt, opt.MaxIter)
+		iters, err := iterate(ctx, &flow, mgt, opt, opt.MaxIter, "mcl")
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +151,11 @@ func ClusterCtx(ctx context.Context, adj *matrix.CSR, opt Options) (*Result, err
 	coarse := h.Coarsest()
 	mgt := regularizer(coarse.Adj, opt.SelfLoopWeight)
 	flow := initialFlow(mgt, opt)
-	if _, err := iterate(ctx, &flow, mgt, opt, opt.MaxIter); err != nil {
+	// Coarse levels never checkpoint: their flow dimensions differ from
+	// the finest level, so a snapshot taken here could not be restored
+	// into a replayed job (which re-coarsens and reaches this code path
+	// again anyway in well under an iteration of finest-level work).
+	if _, err := iterate(ctx, &flow, mgt, opt, opt.MaxIter, ""); err != nil {
 		return nil, err
 	}
 
@@ -159,10 +165,13 @@ func ClusterCtx(ctx context.Context, adj *matrix.CSR, opt Options) (*Result, err
 		flow = projectFlow(flow, h.Levels[level].Map, fineAdj.Rows)
 		mgt = regularizer(fineAdj, opt.SelfLoopWeight)
 		n := opt.IterPerLevel
+		kernel := ""
 		if level == 1 {
+			// Only the finest level checkpoints (see above).
 			n = opt.MaxIter
+			kernel = "mcl"
 		}
-		iters, err := iterate(ctx, &flow, mgt, opt, n)
+		iters, err := iterate(ctx, &flow, mgt, opt, n, kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +234,15 @@ func regularizer(adj *matrix.CSR, selfLoop float64) *matrix.CSR {
 // residual as attributes) and records per-iteration residual, flow
 // nonzeros and threshold-pruned entries through the obs hooks; both
 // are no-ops when no trace/meter is installed in ctx.
-func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int) (iters int, err error) {
+//
+// ckptKernel names the checkpoint slot this solve saves/restores
+// through a context-carried checkpoint.Sink; "" disables checkpointing
+// (coarse MLR-MCL levels, whose flow dimensions cannot be restored
+// into a replay). With a sink present the solve resumes from the
+// sink's snapshot (resume_iter span attribute), saves the flow every
+// sink.Interval() iterations, and saves once more when cancelled so a
+// drained job loses at most the current iteration.
+func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Options, maxIter int, ckptKernel string) (iters int, err error) {
 	ctx, sp := obs.StartSpan(ctx, "mcl.iterate",
 		obs.A("nodes", mgt.Rows), obs.A("max_iter", maxIter))
 	var lastDelta float64
@@ -235,8 +252,37 @@ func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Option
 		sp.EndErr(err)
 		obs.ObserveMCLRun(ctx, iters)
 	}()
-	for it := 0; it < maxIter; it++ {
+
+	start := 0
+	var sink checkpoint.Sink
+	if ckptKernel != "" {
+		sink = checkpoint.FromContext(ctx)
+	}
+	if sink != nil {
+		if it0, blob, ok := sink.Restore(ckptKernel); ok && it0 > 0 {
+			// A stale snapshot (different graph, or a coarse-level blob
+			// that slipped through) fails the dimension check and is
+			// ignored rather than corrupting the solve.
+			if f, derr := matrix.ReadBinary(bytes.NewReader(blob)); derr == nil &&
+				f.Rows == (*flow).Rows && f.Cols == (*flow).Cols {
+				*flow = f
+				start = it0
+			}
+		}
+		sp.SetAttr("resume_iter", start)
+	}
+	if start >= maxIter {
+		return start, nil
+	}
+	saved := start
+	for it := start; it < maxIter; it++ {
 		if err := ctx.Err(); err != nil {
+			if sink != nil && it > saved {
+				// Best-effort snapshot at the cancellation boundary so a
+				// drain-preempted job resumes here instead of at the last
+				// periodic checkpoint. The cancel error still wins.
+				saveFlowCheckpoint(ctx, sink, ckptKernel, it, *flow)
+			}
 			return it, err
 		}
 		if err := faultinject.Fire("mcl.iterate"); err != nil {
@@ -263,11 +309,40 @@ func iterate(ctx context.Context, flow **matrix.CSR, mgt *matrix.CSR, opt Option
 		lastDelta = delta
 		obs.ObserveMCLIteration(ctx, delta, next.NNZ(), rawNNZ-next.NNZ())
 		*flow = next
+		if sink != nil {
+			if n := sink.Interval(); n > 0 && (it+1-start)%n == 0 {
+				if err := saveFlowCheckpoint(ctx, sink, ckptKernel, it+1, *flow); err != nil {
+					return it + 1, err
+				}
+				saved = it + 1
+			}
+		}
 		if delta < opt.ConvergenceTol {
 			return it + 1, nil
 		}
 	}
 	return maxIter, nil
+}
+
+// saveFlowCheckpoint serializes the flow matrix (CSR binary format)
+// and hands it to the sink, under an "mcl.checkpoint" span and fault
+// site.
+func saveFlowCheckpoint(ctx context.Context, sink checkpoint.Sink, kernel string, iter int, flow *matrix.CSR) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "mcl.checkpoint", obs.A("iter", iter))
+	defer func() { sp.EndErr(err) }()
+	if err = faultinject.Fire("mcl.checkpoint"); err != nil {
+		return fmt.Errorf("mcl: %w", err)
+	}
+	var buf bytes.Buffer
+	if err = flow.WriteBinary(&buf); err != nil {
+		return fmt.Errorf("mcl: encoding checkpoint: %w", err)
+	}
+	if err = sink.Save(kernel, iter, buf.Bytes()); err != nil {
+		return fmt.Errorf("mcl: saving checkpoint: %w", err)
+	}
+	sp.SetAttr("bytes", buf.Len())
+	obs.ObserveCheckpoint(ctx, kernel, buf.Len())
+	return nil
 }
 
 // inflateRows raises entries to the power r and renormalises each row.

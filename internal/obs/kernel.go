@@ -56,6 +56,14 @@ func ObserveWalkRun(ctx context.Context, iterations int) {
 	}
 }
 
+// ObserveCheckpoint records the serialized size of one kernel
+// checkpoint snapshot, labeled by kernel ("mcl", "walk").
+func ObserveCheckpoint(ctx context.Context, kernel string, bytes int) {
+	if m := Meter(ctx); m != nil {
+		m.Histogram("symcluster_checkpoint_bytes", "Serialized checkpoint snapshot size in bytes.", SizeBuckets, "kernel").Observe(float64(bytes), kernel)
+	}
+}
+
 // ObserveLanczosStep records one Lanczos step's off-diagonal norm β,
 // the convergence residual of the factorisation.
 func ObserveLanczosStep(ctx context.Context, beta float64) {

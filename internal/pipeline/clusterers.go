@@ -21,6 +21,7 @@ type cluEntry struct {
 	describe string
 	requireK bool
 	directed bool
+	ckpt     bool
 	run      func(ctx context.Context, in Input, opt ClusterOptions) (*Result, error)
 	cost     func(GraphStats) int64
 }
@@ -32,6 +33,7 @@ func (e *cluEntry) Display() string       { return e.display }
 func (e *cluEntry) Describe() string      { return e.describe }
 func (e *cluEntry) RequiresK() bool       { return e.requireK }
 func (e *cluEntry) AcceptsDirected() bool { return e.directed }
+func (e *cluEntry) Checkpointable() bool  { return e.ckpt }
 
 func (e *cluEntry) Validate(opt ClusterOptions) error {
 	if opt.TargetClusters < 0 {
@@ -118,6 +120,7 @@ var cluRegistry = []Clusterer{
 		aliases:  []string{"mlrmcl"},
 		display:  "MLR-MCL",
 		describe: "multi-level regularized Markov clustering (KDD 2009)",
+		ckpt:     true,
 		run: func(ctx context.Context, in Input, opt ClusterOptions) (*Result, error) {
 			inflation := opt.Inflation
 			if inflation <= 1 {

@@ -150,6 +150,10 @@ type Symmetrizer interface {
 	Describe() string
 	// Validate rejects out-of-range options before any work is queued.
 	Validate(opt SymOptions) error
+	// Checkpointable reports whether Run's kernels save/restore
+	// mid-iteration snapshots through a context-carried
+	// checkpoint.Sink (the random-walk power iteration does).
+	Checkpointable() bool
 	// Run validates opt and symmetrizes g. Cancellation is polled at
 	// iteration and row-block boundaries of the kernels underneath.
 	Run(ctx context.Context, g *graph.Directed, opt SymOptions) (*graph.Undirected, error)
@@ -228,6 +232,10 @@ type Clusterer interface {
 	// AcceptsDirected reports whether Run consumes Input.G (the
 	// directed graph) instead of Input.U, bypassing symmetrization.
 	AcceptsDirected() bool
+	// Checkpointable reports whether Run's kernels save/restore
+	// mid-iteration snapshots through a context-carried
+	// checkpoint.Sink (the MLR-MCL flow iteration does).
+	Checkpointable() bool
 	// Validate rejects out-of-range options before any work is queued.
 	Validate(opt ClusterOptions) error
 	// Run validates opt and clusters the input. Cancellation is polled

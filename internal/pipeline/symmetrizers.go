@@ -19,14 +19,16 @@ type symEntry struct {
 	display  string
 	describe string
 	validate func(SymOptions) error
+	ckpt     bool
 	cost     func(GraphStats) int64
 }
 
-func (e *symEntry) Method() core.Method { return e.method }
-func (e *symEntry) Name() string        { return e.name }
-func (e *symEntry) Aliases() []string   { return append([]string(nil), e.aliases...) }
-func (e *symEntry) Display() string     { return e.display }
-func (e *symEntry) Describe() string    { return e.describe }
+func (e *symEntry) Method() core.Method  { return e.method }
+func (e *symEntry) Name() string         { return e.name }
+func (e *symEntry) Aliases() []string    { return append([]string(nil), e.aliases...) }
+func (e *symEntry) Display() string      { return e.display }
+func (e *symEntry) Describe() string     { return e.describe }
+func (e *symEntry) Checkpointable() bool { return e.ckpt }
 
 func (e *symEntry) Validate(opt SymOptions) error {
 	if err := validateSymCommon(opt); err != nil {
@@ -136,6 +138,7 @@ var symRegistry = []Symmetrizer{
 		aliases:  []string{"random-walk", "randomwalk"},
 		display:  "RandomWalk",
 		describe: "U = (ΠP + PᵀΠ)/2 under the teleported random walk (§3.2)",
+		ckpt:     true,
 		cost: func(gs GraphStats) int64 {
 			// Transition matrix + (ΠP + PᵀΠ)/2 (same structure as
 			// A + Aᵀ) plus a handful of n-length iteration vectors.

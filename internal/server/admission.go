@@ -20,25 +20,23 @@ import (
 // admitted request is safe, and a rejected one reports the worst case
 // it could have reached.
 
-// admit applies the byte budget to one validated request. sym is nil
-// when the substrate clusters the directed graph directly. A nil
-// return admits the job; otherwise the error is a 413 apiError
-// carrying the estimate so clients can see how far over budget the
-// request was.
-func (s *Server) admit(rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, k int) error {
-	if s.cfg.MaxJobBytes <= 0 {
-		return nil
-	}
+// admit applies the byte budget to one validated request and returns
+// the working-set estimate, which the queue shedder charges against
+// Config.MaxQueueBytes while the job waits for a worker. sym is nil
+// when the substrate clusters the directed graph directly. A nil error
+// admits the job; otherwise the error is a 413 apiError carrying the
+// estimate so clients can see how far over budget the request was.
+func (s *Server) admit(rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, k int) (int64, error) {
 	est := pipeline.EstimateJobBytes(sym, cl, rg.stats.WithK(k))
-	if est <= s.cfg.MaxJobBytes {
-		return nil
+	if s.cfg.MaxJobBytes <= 0 || est <= s.cfg.MaxJobBytes {
+		return est, nil
 	}
 	s.metrics.IncAdmissionRejected()
 	stage := cl.Name()
 	if sym != nil && !cl.AcceptsDirected() {
 		stage = sym.Name() + "+" + stage
 	}
-	return &apiError{
+	return est, &apiError{
 		code: http.StatusRequestEntityTooLarge,
 		err: fmt.Errorf("estimated working set %d bytes exceeds job budget %d bytes (%s over %d nodes / %d edges); raise -max-job-mb or prune the graph",
 			est, s.cfg.MaxJobBytes, stage, rg.info.Nodes, rg.info.Edges),

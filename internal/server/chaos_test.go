@@ -129,7 +129,7 @@ func TestWorkerPanicFailsAsyncJob(t *testing.T) {
 // iteration and frees the worker, and no goroutines are left behind.
 func TestCancellationReleasesWorkerMidRun(t *testing.T) {
 	defer faultinject.Reset()
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -164,7 +164,7 @@ func TestSpectralKernelFaultFailsRequestNotDaemon(t *testing.T) {
 // and the worker must come back.
 func TestCancellationReleasesWorkerMidSpectralRun(t *testing.T) {
 	defer faultinject.Reset()
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

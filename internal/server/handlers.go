@@ -11,6 +11,7 @@ import (
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/checkpoint"
 	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
 )
@@ -28,12 +29,19 @@ func badRequest(format string, args ...any) error {
 	return &apiError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
+// errShed is returned when the queued-byte watermark is reached; it
+// maps to 429 (the queue exists but is over budget — retry later),
+// distinct from the 503 of a full task channel.
+var errShed = errors.New("server: queued work over byte budget")
+
 // httpStatus maps an error from the run path to a status code.
 func httpStatus(err error) int {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
 		return ae.code
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrPoolClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -121,57 +129,152 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, fmt.Errorf("decoding body: %w", err))
 		return
 	}
-	runner, err := s.prepareRun(&req)
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" && !req.Async {
+		writeError(w, http.StatusBadRequest,
+			errors.New("Idempotency-Key requires async: true (synchronous runs return their result inline and are never retried by job id)"))
+		return
+	}
+	prep, err := s.prepareRun(&req)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
 
 	if req.Async {
-		job := s.jobs.Create()
-		// The job must outlive the HTTP request: detach from the
-		// request context but keep its values for tracing.
-		jobCtx := context.WithoutCancel(r.Context())
-		wait, err := s.pool.Submit(jobCtx, func(ctx context.Context) (any, error) {
-			s.jobs.Start(job.ID)
-			return runner(ctx)
-		})
-		if err != nil {
-			s.jobs.Finish(job.ID, nil, nil, err, false)
-			writeError(w, httpStatus(err), err)
-			return
-		}
-		go func() {
-			res, rerr := wait()
-			s.logWorkerPanic(rerr)
-			// The outcome carries the span tree even when the run
-			// errored, so failed jobs keep their trace.
-			out, _ := res.(*runOutcome)
-			if out == nil {
-				out = &runOutcome{}
-			}
-			s.jobs.Finish(job.ID, out.Resp, out.Trace, rerr, errors.Is(rerr, context.Canceled))
-		}()
-		writeJSON(w, http.StatusAccepted, JobRef{
-			JobID:    job.ID,
-			Location: "/v1/jobs/" + job.ID,
-		})
+		s.startAsyncJob(w, r, &req, idemKey, prep)
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	res, err := s.pool.Run(ctx, func(ctx context.Context) (any, error) { return runner(ctx) })
+	wait, err := s.submitJob(ctx, prep.est, func(ctx context.Context) (any, error) { return prep.runner(ctx) })
+	var res any
+	if err == nil {
+		res, err = wait()
+	}
 	if err != nil {
 		s.logWorkerPanic(err)
 		code := httpStatus(err)
-		if code == http.StatusServiceUnavailable {
+		if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res.(*runOutcome).Resp)
+}
+
+// submitJob pushes work through the shedding gate onto the pool. The
+// gate is a high watermark over the summed working-set estimates of
+// queued tasks: once queuedBytes is at or past MaxQueueBytes the
+// request is shed with 429 — but the incoming job's own estimate is
+// not counted, so a single large job on an idle queue always gets in.
+// Accepted estimates are released by the pool's dequeue hook (run or
+// dropped, either way the bytes stop being "queued").
+func (s *Server) submitJob(ctx context.Context, est int64, fn func(ctx context.Context) (any, error)) (func() (any, error), error) {
+	if max := s.cfg.MaxQueueBytes; max > 0 && s.queuedBytes.Load() >= max {
+		s.shedTotal.Add(1)
+		return nil, fmt.Errorf("%w: %d bytes queued, budget %d; retry later",
+			errShed, s.queuedBytes.Load(), max)
+	}
+	s.queuedBytes.Add(est)
+	wait, err := s.pool.SubmitHooked(ctx, fn, func() { s.queuedBytes.Add(-est) })
+	if err != nil {
+		s.queuedBytes.Add(-est)
+		return nil, err
+	}
+	return wait, nil
+}
+
+// startAsyncJob creates (or, under a repeated Idempotency-Key, finds)
+// the job record and launches it. The 202 body is identical for the
+// first request and its duplicates: same job id, same location.
+func (s *Server) startAsyncJob(w http.ResponseWriter, r *http.Request, req *ClusterRequest, idemKey string, prep *preparedRun) {
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	job, existing, err := s.jobs.Create(idemKey, reqJSON)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("journaling job: %w", err))
+		return
+	}
+	if !existing {
+		if lerr := s.launchJob(r.Context(), job, prep); lerr != nil {
+			s.jobs.Finish(job.ID, nil, nil, lerr, false)
+			code := httpStatus(lerr)
+			if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, lerr)
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, JobRef{
+		JobID:    job.ID,
+		Location: "/v1/jobs/" + job.ID,
+	})
+}
+
+// launchJob submits one async job to the pool and wires its lifecycle:
+// Start when a worker picks it up, checkpoints to the WAL while it
+// runs (durable + checkpointable runs only), and on completion either
+// Finish — or, when Drain preempted it, Requeue, because its kernel
+// checkpointed on the way out and the next boot resumes it.
+func (s *Server) launchJob(parent context.Context, job *Job, prep *preparedRun) error {
+	// The job must outlive the HTTP request: detach from the request
+	// context but keep its values for tracing. The cancel cause lets
+	// Drain preempt the job distinguishably from a client cancel.
+	jobCtx, cancel := context.WithCancelCause(context.WithoutCancel(parent))
+	if prep.checkpointable && s.jobs.Durable() {
+		jobCtx = checkpoint.With(jobCtx, newJobSink(s.jobs, job.ID, s.cfg.CheckpointIters, job.Checkpoints))
+	}
+	wait, err := s.submitJob(jobCtx, prep.est, func(ctx context.Context) (any, error) {
+		if serr := s.jobs.Start(job.ID); serr != nil {
+			return nil, fmt.Errorf("journaling start: %w", serr)
+		}
+		return prep.runner(ctx)
+	})
+	if err != nil {
+		cancel(nil)
+		return err
+	}
+	s.jobMu.Lock()
+	s.jobCancels[job.ID] = cancel
+	s.jobMu.Unlock()
+
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		defer func() {
+			s.jobMu.Lock()
+			delete(s.jobCancels, job.ID)
+			s.jobMu.Unlock()
+			cancel(nil)
+		}()
+		res, rerr := wait()
+		s.logWorkerPanic(rerr)
+		// The outcome carries the span tree even when the run
+		// errored, so failed jobs keep their trace.
+		out, _ := res.(*runOutcome)
+		if out == nil {
+			out = &runOutcome{}
+		}
+		if errors.Is(rerr, context.Canceled) && errors.Is(context.Cause(jobCtx), errPreempted) {
+			// Drain preempted the run after its final checkpoint;
+			// pending in the WAL means the next boot picks it up.
+			if qerr := s.jobs.Requeue(job.ID); qerr != nil {
+				s.log().Error("requeueing preempted job", "job", job.ID, "err", qerr)
+			}
+			return
+		}
+		if ferr := s.jobs.Finish(job.ID, out.Resp, out.Trace, rerr, errors.Is(rerr, context.Canceled)); ferr != nil {
+			s.log().Error("journaling job outcome", "job", job.ID, "err", ferr)
+		}
+	}()
+	return nil
 }
 
 // runOutcome is what one clustering run hands back through the pool:
@@ -182,10 +285,20 @@ type runOutcome struct {
 	Trace *obs.SpanNode
 }
 
+// preparedRun is a validated, admitted request ready to submit: the
+// closure that executes it, the admission byte estimate (charged
+// against the queue watermark while it waits), and whether any stage
+// supports kernel checkpointing (gates installing a job sink).
+type preparedRun struct {
+	runner         func(ctx context.Context) (*runOutcome, error)
+	est            int64
+	checkpointable bool
+}
+
 // prepareRun validates a ClusterRequest against the pipeline registry
 // and returns the closure that executes it. Validation happens before
 // the request is queued so bad input never occupies a worker.
-func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*runOutcome, error), error) {
+func (s *Server) prepareRun(req *ClusterRequest) (*preparedRun, error) {
 	if req.GraphID == "" {
 		return nil, badRequest("graph_id is required")
 	}
@@ -234,14 +347,19 @@ func (s *Server) prepareRun(req *ClusterRequest) (func(ctx context.Context) (*ru
 			return nil, badRequest("%v", err)
 		}
 	}
-	if err := s.admit(rg, sym, cl, req.K); err != nil {
+	est, err := s.admit(rg, sym, cl, req.K)
+	if err != nil {
 		return nil, err
 	}
 
-	runner := func(ctx context.Context) (*runOutcome, error) {
-		return s.runCluster(ctx, rg, sym, cl, opt, clOpt)
-	}
-	return runner, nil
+	ckpt := cl.Checkpointable() || (sym != nil && sym.Checkpointable())
+	return &preparedRun{
+		runner: func(ctx context.Context) (*runOutcome, error) {
+			return s.runCluster(ctx, rg, sym, cl, opt, clOpt)
+		},
+		est:            est,
+		checkpointable: ckpt,
+	}, nil
 }
 
 // runCluster executes the two-stage pipeline for one request under a
@@ -414,5 +532,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache, s.pool, s.jobs)
+	s.metrics.WriteTo(w, s)
 }

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"symcluster/internal/jobstore"
 	"symcluster/internal/obs"
 )
 
@@ -12,7 +15,9 @@ import (
 type JobState string
 
 // Job lifecycle: pending (queued) → running → done | failed.
-// Canceled marks jobs whose context expired before or during the run.
+// Canceled marks jobs whose context expired before or during the run;
+// a drain-preempted durable job goes running → pending instead, so the
+// next boot finishes it.
 const (
 	JobPending  JobState = "pending"
 	JobRunning  JobState = "running"
@@ -22,10 +27,19 @@ const (
 )
 
 // Job is one async clustering run. Fields are guarded by the owning
-// JobStore's mutex; handlers read them only through Snapshot.
+// JobStore's mutex; handlers read them only through Snapshot. ID,
+// IdempotencyKey, Request and Checkpoints are set at creation (or
+// replay) and never mutated after, so the launch path may read them
+// without the lock.
 type Job struct {
-	ID       string
-	State    JobState
+	ID    string
+	State JobState
+	// IdempotencyKey dedups retried submissions: a duplicate POST with
+	// the same key returns this job instead of creating a second one.
+	IdempotencyKey string
+	// Request is the original ClusterRequest JSON, persisted so a
+	// replayed job can rebuild its run after a restart.
+	Request  json.RawMessage
 	Result   *ClusterResponse
 	Err      string
 	Created  time.Time
@@ -34,33 +48,129 @@ type Job struct {
 	// Trace is the run's span tree, retained for done, failed AND
 	// canceled jobs (an errored run's trace is exactly what you want
 	// when debugging why it errored). Served by GET /v1/jobs/{id}/trace.
+	// In-memory only: traces do not survive restarts.
 	Trace *obs.SpanNode
+	// Checkpoints holds the kernel checkpoints replayed from the WAL
+	// for an interrupted job; the job's sink serves them back to the
+	// kernels so the run resumes mid-iteration. Nil for fresh jobs.
+	Checkpoints map[string]jobstore.Checkpoint
 }
 
-// JobStore tracks async jobs in memory. Finished jobs are retained (up
-// to a cap, oldest evicted first) and expire after a TTL so an
-// unattended daemon does not accumulate completed results forever;
-// there is no persistence — jobs die with the process, which graceful
-// drain makes visible by finishing in-flight work first.
+// JobStore tracks async jobs in memory, optionally journaling every
+// mutation to a WAL-backed jobstore.Store (durable mode, -data-dir).
+// Finished jobs are retained (up to a cap, oldest evicted first) and
+// expire after a TTL so an unattended daemon does not accumulate
+// completed results forever. Without a backing store jobs die with the
+// process, which graceful drain makes visible by finishing in-flight
+// work first; with one, pending and running jobs are replayed and
+// re-enqueued on the next boot.
 type JobStore struct {
 	mu       sync.Mutex
 	seq      int64
 	jobs     map[string]*Job
-	finished []string // finished job ids, oldest first
+	byKey    map[string]string // idempotency key → job id
+	finished []string          // finished job ids, oldest first
 	retain   int
 	ttl      time.Duration
 	expired  int64
+	replayed int64
+	ckpts    int64
 	now      func() time.Time // injectable for deterministic TTL tests
+
+	st *jobstore.Store // nil in memory-only mode
 }
 
-// NewJobStore returns a store retaining at most retain finished jobs
-// (clamped to at least 1). Finished jobs older than ttl are expired
-// lazily on access; ttl <= 0 disables expiry.
+// NewJobStore returns a memory-only store retaining at most retain
+// finished jobs (clamped to at least 1). Finished jobs older than ttl
+// are expired lazily on access; ttl <= 0 disables expiry.
 func NewJobStore(retain int, ttl time.Duration) *JobStore {
 	if retain < 1 {
 		retain = 1
 	}
-	return &JobStore{jobs: make(map[string]*Job), retain: retain, ttl: ttl, now: time.Now}
+	return &JobStore{
+		jobs:   make(map[string]*Job),
+		byKey:  make(map[string]string),
+		retain: retain,
+		ttl:    ttl,
+		now:    time.Now,
+	}
+}
+
+// NewDurableJobStore returns a store journaling to st, after replaying
+// st's records into memory: finished jobs come back with their results,
+// idempotency keys re-arm, the id sequence resumes past every replayed
+// job, and jobs that were pending or running when the previous process
+// died come back pending (the server re-enqueues them via PendingJobs).
+func NewDurableJobStore(retain int, ttl time.Duration, st *jobstore.Store) *JobStore {
+	s := NewJobStore(retain, ttl)
+	s.st = st
+	for _, rec := range st.Jobs() {
+		j := &Job{
+			ID:             rec.ID,
+			State:          JobState(rec.State),
+			IdempotencyKey: rec.IdempotencyKey,
+			Request:        rec.Request,
+			Err:            rec.Err,
+			Created:        rec.Created,
+			Started:        rec.Started,
+			Finished:       rec.Finished,
+			Checkpoints:    rec.Checkpoints,
+		}
+		if len(rec.Result) > 0 {
+			var resp ClusterResponse
+			if err := json.Unmarshal(rec.Result, &resp); err == nil {
+				j.Result = &resp
+			}
+		}
+		s.jobs[j.ID] = j
+		if j.IdempotencyKey != "" {
+			s.byKey[j.IdempotencyKey] = j.ID
+		}
+		switch j.State {
+		case JobDone, JobFailed, JobCanceled:
+			s.finished = append(s.finished, j.ID)
+		case JobPending:
+			s.replayed++
+		}
+	}
+	if seq := st.MaxSeq(); seq > s.seq {
+		s.seq = seq
+	}
+	return s
+}
+
+// Durable reports whether mutations are journaled to a WAL.
+func (s *JobStore) Durable() bool { return s.st != nil }
+
+// Replayed returns the number of interrupted jobs replayed as pending
+// at startup.
+func (s *JobStore) Replayed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayed
+}
+
+// CheckpointSaves returns the number of kernel checkpoints journaled.
+func (s *JobStore) CheckpointSaves() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckpts
+}
+
+// dropLocked removes a job from the map and its idempotency key from
+// the index, journaling the removal in durable mode (best-effort: a
+// failed drop append means the job is resurrected on the next boot and
+// re-expired then).
+func (s *JobStore) dropLocked(id string) {
+	if j, ok := s.jobs[id]; ok {
+		if j.IdempotencyKey != "" {
+			delete(s.byKey, j.IdempotencyKey)
+		}
+		delete(s.jobs, id)
+		if s.st != nil {
+			s.st.Drop(id)
+		}
+	}
 }
 
 // expireLocked drops finished jobs whose TTL has lapsed. Called with
@@ -78,7 +188,7 @@ func (s *JobStore) expireLocked() {
 			continue
 		}
 		if j.Finished.Before(cutoff) {
-			delete(s.jobs, id)
+			s.dropLocked(id)
 			s.expired++
 			continue
 		}
@@ -94,39 +204,116 @@ func (s *JobStore) Expired() int64 {
 	return s.expired
 }
 
-// Create registers a new pending job and returns it.
-func (s *JobStore) Create() *Job {
+// Create registers a new pending job carrying the original request
+// JSON, journaling it in durable mode. When idemKey is non-empty and a
+// job with that key already exists (including one replayed from the
+// WAL), that job is returned with existing == true and nothing new is
+// created — duplicate retries never produce two jobs.
+func (s *JobStore) Create(idemKey string, request json.RawMessage) (job *Job, existing bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked()
-	s.seq++
+	if idemKey != "" {
+		if id, ok := s.byKey[idemKey]; ok {
+			if j, ok := s.jobs[id]; ok {
+				return j, true, nil
+			}
+		}
+	}
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", s.seq),
-		State:   JobPending,
-		Created: s.now(),
+		ID:             fmt.Sprintf("job-%06d", s.seq+1),
+		State:          JobPending,
+		IdempotencyKey: idemKey,
+		Request:        request,
+		Created:        s.now(),
 	}
+	if s.st != nil {
+		rec := &jobstore.JobRecord{
+			ID:             j.ID,
+			State:          jobstore.Pending,
+			IdempotencyKey: idemKey,
+			Request:        request,
+			Created:        j.Created,
+		}
+		if err := s.st.Create(rec); err != nil {
+			return nil, false, err
+		}
+	}
+	s.seq++
 	s.jobs[j.ID] = j
-	return j
-}
-
-// Start transitions a job to running.
-func (s *JobStore) Start(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if j, ok := s.jobs[id]; ok {
-		j.State = JobRunning
-		j.Started = s.now()
+	if idemKey != "" {
+		s.byKey[idemKey] = j.ID
 	}
+	return j, false, nil
 }
 
-// Finish records the outcome of a job and schedules retention. trace
-// may be nil (a run rejected before it started has no span tree).
-func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNode, err error, canceled bool) {
+// Start transitions a job to running, journal-first: a failed append
+// leaves the job pending so disk never lags memory.
+func (s *JobStore) Start(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return
+		return nil
+	}
+	t := s.now()
+	if s.st != nil {
+		if err := s.st.Start(id, t); err != nil {
+			return err
+		}
+	}
+	j.State = JobRunning
+	j.Started = t
+	return nil
+}
+
+// Requeue marks a preempted job pending again (graceful drain
+// checkpointed it; the next boot finishes it).
+func (s *JobStore) Requeue(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	t := s.now()
+	if s.st != nil {
+		if err := s.st.Requeue(id, t); err != nil {
+			return err
+		}
+	}
+	j.State = JobPending
+	j.Started = time.Time{}
+	return nil
+}
+
+// SaveCheckpoint journals one kernel checkpoint for a running job.
+// No-op (successfully) in memory-only mode: there is nothing to resume
+// from after a restart anyway.
+func (s *JobStore) SaveCheckpoint(id, kernel string, ck jobstore.Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st == nil {
+		return nil
+	}
+	if err := s.st.SaveCheckpoint(id, kernel, ck); err != nil {
+		return err
+	}
+	s.ckpts++
+	return nil
+}
+
+// Finish records the outcome of a job and schedules retention. trace
+// may be nil (a run rejected before it started has no span tree). The
+// journal append is best-effort: clients must see the outcome even if
+// the disk is failing, so the in-memory state is updated regardless
+// and the append error is returned for logging.
+func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNode, err error, canceled bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
 	}
 	j.Finished = s.now()
 	j.Trace = trace
@@ -143,11 +330,20 @@ func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNod
 		j.State = JobDone
 		j.Result = result
 	}
+	var jerr error
+	if s.st != nil {
+		var resJSON json.RawMessage
+		if j.Result != nil {
+			resJSON, _ = json.Marshal(j.Result)
+		}
+		jerr = s.st.Finish(id, jobstore.State(j.State), resJSON, j.Err, j.Finished)
+	}
 	s.finished = append(s.finished, id)
 	for len(s.finished) > s.retain {
-		delete(s.jobs, s.finished[0])
+		s.dropLocked(s.finished[0])
 		s.finished = s.finished[1:]
 	}
+	return jerr
 }
 
 // Snapshot returns a copy of the job's current state, or false when the
@@ -186,6 +382,21 @@ func (s *JobStore) Pending() int {
 		}
 	}
 	return n
+}
+
+// PendingJobs returns the pending jobs in id order — the replay
+// surface the server re-enqueues at startup.
+func (s *JobStore) PendingJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.State == JobPending {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
 }
 
 // Info renders a snapshot as the wire JobInfo.

@@ -9,7 +9,7 @@ import (
 
 func TestJobLifecycle(t *testing.T) {
 	s := NewJobStore(8, 0)
-	j := s.Create()
+	j, _, _ := s.Create("", nil)
 	if j.State != JobPending || j.ID == "" {
 		t.Fatalf("created job = %+v", j)
 	}
@@ -29,14 +29,14 @@ func TestJobLifecycle(t *testing.T) {
 
 func TestJobFailureAndCancel(t *testing.T) {
 	s := NewJobStore(8, 0)
-	fail := s.Create()
+	fail, _, _ := s.Create("", nil)
 	s.Start(fail.ID)
 	s.Finish(fail.ID, nil, nil, errors.New("boom"), false)
 	if snap, _ := s.Snapshot(fail.ID); snap.State != JobFailed || snap.Err != "boom" {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 
-	canc := s.Create()
+	canc, _, _ := s.Create("", nil)
 	s.Finish(canc.ID, nil, nil, errors.New("context canceled"), true)
 	if snap, _ := s.Snapshot(canc.ID); snap.State != JobCanceled {
 		t.Fatalf("snapshot = %+v", snap)
@@ -52,7 +52,7 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 	s := NewJobStore(2, 0)
 	var ids []string
 	for i := 0; i < 4; i++ {
-		j := s.Create()
+		j, _, _ := s.Create("", nil)
 		ids = append(ids, j.ID)
 		s.Start(j.ID)
 		s.Finish(j.ID, &ClusterResponse{K: i}, nil, nil, false)
@@ -68,9 +68,9 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 		}
 	}
 	// Unfinished jobs are never evicted by retention.
-	live := s.Create()
+	live, _, _ := s.Create("", nil)
 	for i := 0; i < 4; i++ {
-		j := s.Create()
+		j, _, _ := s.Create("", nil)
 		s.Finish(j.ID, nil, nil, nil, false)
 	}
 	if _, ok := s.Snapshot(live.ID); !ok {
@@ -85,7 +85,7 @@ func TestJobIDsAreSequentialAndUnique(t *testing.T) {
 	s := NewJobStore(16, 0)
 	seen := map[string]bool{}
 	for i := 0; i < 5; i++ {
-		j := s.Create()
+		j, _, _ := s.Create("", nil)
 		if seen[j.ID] {
 			t.Fatalf("duplicate id %s", j.ID)
 		}
@@ -101,7 +101,7 @@ func TestJobTTLExpiry(t *testing.T) {
 	s := NewJobStore(10, time.Minute)
 	s.now = func() time.Time { return now }
 
-	j := s.Create()
+	j, _, _ := s.Create("", nil)
 	s.Start(j.ID)
 	s.Finish(j.ID, nil, nil, nil, false)
 
@@ -120,7 +120,7 @@ func TestJobTTLExpiry(t *testing.T) {
 	}
 
 	// Unfinished jobs are never expired, however old.
-	running := s.Create()
+	running, _, _ := s.Create("", nil)
 	s.Start(running.ID)
 	now = now.Add(24 * time.Hour)
 	if _, ok := s.Snapshot(running.ID); !ok {
@@ -135,7 +135,7 @@ func TestJobTTLDisabled(t *testing.T) {
 	now := time.Unix(1_000_000, 0)
 	s := NewJobStore(10, 0)
 	s.now = func() time.Time { return now }
-	j := s.Create()
+	j, _, _ := s.Create("", nil)
 	s.Finish(j.ID, nil, nil, nil, false)
 	now = now.Add(1000 * time.Hour)
 	if _, ok := s.Snapshot(j.ID); !ok {

@@ -81,8 +81,10 @@ func (m *Metrics) ObserveCacheObject(bytes int64) {
 func (m *Metrics) IncAdmissionRejected() { m.admissionReject.Inc() }
 
 // WriteTo renders the exposition: the registry families first, then the
-// live gauges read from the cache, pool and job store at scrape time.
-func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore) {
+// live gauges read from the server's cache, pool, job store and WAL at
+// scrape time.
+func (m *Metrics) WriteTo(w io.Writer, s *Server) {
+	cache, pool, jobs := s.cache, s.pool, s.jobs
 	m.reg.WriteText(w)
 
 	p := func(help, typ, name string, v int64) {
@@ -102,6 +104,23 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, jobs *JobStore)
 	p("Worker-pool size.", "gauge", "symclusterd_workers_total", int64(pool.Workers()))
 	p("Worker panics recovered.", "counter", "symclusterd_panics_recovered_total", pool.PanicsRecovered())
 	p("Finished async jobs dropped by TTL expiry.", "counter", "symclusterd_jobs_expired_total", jobs.Expired())
+
+	// Durability surface. The families are always present (zero without
+	// -data-dir) so dashboards and the crash-recovery tests can poll
+	// them unconditionally.
+	p("Clustering requests shed by the queued-byte watermark.", "counter", "symclusterd_shed_total", s.shedTotal.Load())
+	p("Summed working-set estimate of queued clustering jobs.", "gauge", "symclusterd_queue_bytes", s.queuedBytes.Load())
+	p("Kernel checkpoints journaled to the WAL.", "counter", "symclusterd_checkpoints_total", jobs.CheckpointSaves())
+	p("Interrupted jobs replayed as pending at startup.", "counter", "symclusterd_jobs_replayed_total", jobs.Replayed())
+	var walBytes, walAppends, walCompactions int64
+	if s.store != nil {
+		walBytes = s.store.LogBytes()
+		walAppends = s.store.Appends()
+		walCompactions = s.store.Compactions()
+	}
+	p("Current size of the job WAL in bytes.", "gauge", "symclusterd_wal_bytes", walBytes)
+	p("Records appended to the job WAL.", "counter", "symclusterd_wal_appends_total", walAppends)
+	p("Job WAL compactions performed.", "counter", "symclusterd_wal_compactions_total", walCompactions)
 
 	io.WriteString(w, "# HELP symclusterd_jobs Async jobs by state.\n")
 	io.WriteString(w, "# TYPE symclusterd_jobs gauge\n")

@@ -28,7 +28,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	defer f.Close()
 	sink := obs.NewTraceSink(f, 8)
 
-	s := New(Config{Workers: 2, TraceSink: sink})
+	s := mustNew(t, Config{Workers: 2, TraceSink: sink})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -51,11 +51,15 @@ type Pool struct {
 }
 
 type poolTask struct {
-	ctx  context.Context
-	fn   func(ctx context.Context) (any, error)
-	res  any
-	err  error
-	done chan struct{}
+	ctx context.Context
+	fn  func(ctx context.Context) (any, error)
+	// onDequeue, when set, fires the moment a worker takes the task off
+	// the queue — whether it then runs or is dropped for a dead context.
+	// The admission layer uses it to release queued-byte accounting.
+	onDequeue func()
+	res       any
+	err       error
+	done      chan struct{}
 }
 
 // NewPool starts workers goroutines over a queue of depth queueDepth.
@@ -81,6 +85,9 @@ func NewPool(workers, queueDepth int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {
+		if t.onDequeue != nil {
+			t.onDequeue()
+		}
 		// A task whose client has already gone away is dropped
 		// without occupying the worker.
 		if err := t.ctx.Err(); err != nil {
@@ -117,7 +124,14 @@ func (p *Pool) runTask(t *poolTask) (res any, err error) {
 // a cancelled wait abandons the task (the worker still completes it,
 // but the result is discarded).
 func (p *Pool) Submit(ctx context.Context, fn func(ctx context.Context) (any, error)) (wait func() (any, error), err error) {
-	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	return p.SubmitHooked(ctx, fn, nil)
+}
+
+// SubmitHooked is Submit with a dequeue hook: onDequeue (if non-nil)
+// fires exactly once when a worker pulls the task from the queue,
+// before deciding whether to run or drop it.
+func (p *Pool) SubmitHooked(ctx context.Context, fn func(ctx context.Context) (any, error), onDequeue func()) (wait func() (any, error), err error) {
+	t := &poolTask{ctx: ctx, fn: fn, onDequeue: onDequeue, done: make(chan struct{})}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -172,7 +186,15 @@ func (p *Pool) Close(ctx context.Context) error {
 		close(p.tasks)
 	}
 	p.mu.Unlock()
+	return p.Wait(ctx)
+}
 
+// Wait blocks until every worker has exited (the pool must already be
+// closed) or ctx expires. Drain calls it a second time after
+// preempting stuck jobs: the first Close timed out, the preemption
+// cancelled the in-flight contexts, and this wait gives the kernels a
+// grace window to checkpoint and return.
+func (p *Pool) Wait(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		p.wg.Wait()

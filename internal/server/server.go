@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -10,6 +13,7 @@ import (
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/jobstore"
 	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
 )
@@ -40,6 +44,28 @@ type Config struct {
 	// negative disables the check (the default; cmd/symclusterd sets
 	// 4 GiB).
 	MaxJobBytes int64
+	// MaxQueueBytes sheds new clustering requests with 429 once the
+	// summed working-set estimates of queued (not yet dequeued) jobs
+	// reach this level. It is a high-watermark check: a single request
+	// on an empty queue is always admitted, however large its estimate,
+	// so the limit never deadlocks a graph that passes MaxJobBytes.
+	// Zero or negative disables shedding (the default).
+	MaxQueueBytes int64
+	// DataDir, when set, makes jobs durable: every job mutation is
+	// journaled to a WAL under this directory, uploaded graphs are
+	// persisted alongside it, and on startup interrupted jobs are
+	// replayed and re-enqueued. Empty (the default) keeps the job store
+	// purely in memory.
+	DataDir string
+	// CheckpointIters is how often (in kernel iterations) a durable
+	// async job snapshots its kernel state to the WAL so a crash or
+	// drain resumes mid-run instead of starting over (default 25; only
+	// meaningful with DataDir).
+	CheckpointIters int
+	// PreemptGrace bounds how long Drain waits, after cancelling stuck
+	// jobs, for their kernels to write a final checkpoint and return
+	// (default 5s; only meaningful with DataDir).
+	PreemptGrace time.Duration
 	// Logger receives request and lifecycle logs; nil means
 	// slog.Default(). cmd/symclusterd installs a JSON-handler logger.
 	Logger *slog.Logger
@@ -68,8 +94,21 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 256
 	}
+	if c.CheckpointIters <= 0 {
+		c.CheckpointIters = 25
+	}
+	if c.PreemptGrace <= 0 {
+		c.PreemptGrace = 5 * time.Second
+	}
 	return c
 }
+
+// errPreempted is the cancellation cause Drain attaches when it
+// preempts a durable job that would not finish within the drain
+// deadline; the completion path sees it and requeues the job (it was
+// checkpointed, so the next boot resumes it) instead of marking it
+// canceled.
+var errPreempted = errors.New("server: job preempted by drain")
 
 // Server is the symclusterd service: a graph registry, a symmetrization
 // cache, a bounded worker pool and an async job store behind a JSON
@@ -80,6 +119,7 @@ type Server struct {
 	pool      *Pool
 	cache     *Cache
 	jobs      *JobStore
+	store     *jobstore.Store // nil without DataDir
 	metrics   *Metrics
 	traces    *obs.TraceSink
 	startTime time.Time
@@ -87,6 +127,19 @@ type Server struct {
 	graphMu  sync.RWMutex
 	graphs   map[string]*registeredGraph
 	draining atomic.Bool
+
+	// queuedBytes is the summed working-set estimate of submitted tasks
+	// not yet dequeued by a worker; shedTotal counts 429 rejections.
+	queuedBytes atomic.Int64
+	shedTotal   atomic.Int64
+
+	// jobMu guards jobCancels, the cancel funcs of in-flight async jobs
+	// (keyed by job id) that Drain preempts; jobWG tracks their
+	// completion goroutines so Drain can wait for the final journal
+	// append (Finish or Requeue) before the process exits.
+	jobMu      sync.Mutex
+	jobCancels map[string]context.CancelCauseFunc
+	jobWG      sync.WaitGroup
 }
 
 // registeredGraph is one uploaded graph plus the precomputed identity
@@ -100,25 +153,98 @@ type registeredGraph struct {
 	stats       pipeline.GraphStats
 }
 
-// New builds a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server. With Config.DataDir set it opens
+// (or creates) the WAL-backed job store there, reloads persisted
+// graphs, replays interrupted jobs and re-enqueues them; the error
+// covers a corrupt or unwritable data directory.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:     NewCache(cfg.CacheBytes),
-		jobs:      NewJobStore(cfg.RetainJobs, cfg.JobTTL),
-		metrics:   NewMetrics(),
-		traces:    cfg.TraceSink,
-		startTime: time.Now(),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		pool:       NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:      NewCache(cfg.CacheBytes),
+		metrics:    NewMetrics(),
+		traces:     cfg.TraceSink,
+		startTime:  time.Now(),
+		jobCancels: make(map[string]context.CancelCauseFunc),
 	}
 	if s.traces == nil {
 		s.traces = obs.NewTraceSink(nil, 64)
 	}
 	s.graphs = make(map[string]*registeredGraph)
+
+	if cfg.DataDir != "" {
+		st, err := jobstore.Open(cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("opening job store: %w", err)
+		}
+		s.store = st
+		if err := s.loadGraphs(); err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.jobs = NewDurableJobStore(cfg.RetainJobs, cfg.JobTTL, st)
+	} else {
+		s.jobs = NewJobStore(cfg.RetainJobs, cfg.JobTTL)
+	}
+
 	s.routes()
-	return s
+
+	// Re-enqueue replayed jobs after routes are up; the goroutine
+	// retries briefly when the replayed backlog alone overflows the
+	// queue, so a deep backlog drains instead of failing.
+	if s.store != nil {
+		if pending := s.jobs.PendingJobs(); len(pending) > 0 {
+			go s.resumeJobs(pending)
+		}
+	}
+	return s, nil
+}
+
+// loadGraphs re-registers every graph persisted under the data dir.
+func (s *Server) loadGraphs() error {
+	return s.store.ForEachGraph(func(id string, data []byte) error {
+		g, err := symcluster.ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("reloading graph %s: %w", id, err)
+		}
+		s.registerGraph(g, false) // already on disk
+		return nil
+	})
+}
+
+// resumeJobs rebuilds and re-submits jobs that were pending or running
+// when the previous process died. Requests that no longer validate
+// (e.g. the pipeline lost a stage) are failed rather than retried
+// forever; submissions that bounce off a full queue back off and retry
+// until the pool accepts them or shuts down.
+func (s *Server) resumeJobs(pending []*Job) {
+	for _, job := range pending {
+		var req ClusterRequest
+		if err := json.Unmarshal(job.Request, &req); err != nil {
+			s.jobs.Finish(job.ID, nil, nil, fmt.Errorf("replaying request: %w", err), false)
+			continue
+		}
+		prep, err := s.prepareRun(&req)
+		if err != nil {
+			s.jobs.Finish(job.ID, nil, nil, fmt.Errorf("replaying request: %w", err), false)
+			continue
+		}
+		for {
+			err := s.launchJob(context.Background(), job, prep)
+			if err == nil {
+				s.log().Info("replayed job re-enqueued", "job", job.ID)
+				break
+			}
+			if errors.Is(err, ErrPoolClosed) {
+				return // shutting down again; the job stays pending in the WAL
+			}
+			// Queue full or over the byte watermark: the backlog itself
+			// is the contention, so wait for workers to drain it.
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
 }
 
 // log returns the configured logger, or slog.Default().
@@ -149,9 +275,54 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // jobs to finish, bounded by ctx. Call after http.Server.Shutdown so
 // no new requests race the drain. It is the SIGTERM half of graceful
 // shutdown; safe to call more than once.
+//
+// In durable mode a drain deadline does not abandon work: jobs still
+// running when ctx expires are preempted — their contexts are
+// cancelled with a cause the completion path recognizes, the kernels
+// write a final checkpoint at the next iteration boundary, and the
+// jobs are requeued in the WAL so the next boot resumes them.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pool.Close(ctx)
+	err := s.pool.Close(ctx)
+	if err == nil || s.store == nil {
+		return err
+	}
+
+	// Deadline passed with work in flight: preempt.
+	s.jobMu.Lock()
+	n := len(s.jobCancels)
+	for _, cancel := range s.jobCancels {
+		cancel(errPreempted)
+	}
+	s.jobMu.Unlock()
+	s.log().Info("drain deadline passed; preempting jobs for checkpoint", "jobs", n)
+
+	graceCtx, cancel := context.WithTimeout(context.Background(), s.cfg.PreemptGrace)
+	defer cancel()
+	if werr := s.pool.Wait(graceCtx); werr != nil {
+		return werr
+	}
+	// Workers are done; wait for the completion goroutines to journal
+	// the requeues (they are fast — one WAL append each).
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-graceCtx.Done():
+		return graceCtx.Err()
+	}
+}
+
+// Close releases the WAL (durable mode only). Call after Drain.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
 }
 
 // Draining reports whether Drain has begun (healthz turns 503 so load
@@ -160,8 +331,14 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // RegisterGraph adds a graph directly (used by tests and embedders; the
 // HTTP path is POST /v1/graphs). The id is derived from the structural
-// fingerprint, so registering the same graph twice is idempotent.
+// fingerprint, so registering the same graph twice is idempotent. In
+// durable mode the edge list is persisted under the data dir so
+// replayed jobs find their graph after a restart.
 func (s *Server) RegisterGraph(g *symcluster.DirectedGraph) GraphInfo {
+	return s.registerGraph(g, true)
+}
+
+func (s *Server) registerGraph(g *symcluster.DirectedGraph, persist bool) GraphInfo {
 	fp := g.Fingerprint()
 	id := fmt.Sprintf("g-%016x", fp)
 	info := GraphInfo{
@@ -178,6 +355,14 @@ func (s *Server) RegisterGraph(g *symcluster.DirectedGraph) GraphInfo {
 		stats:       pipeline.StatsFor(g),
 	}
 	s.graphMu.Unlock()
+	if persist && s.store != nil {
+		var buf bytes.Buffer
+		if err := symcluster.WriteEdgeList(&buf, g); err == nil {
+			if err := s.store.SaveGraph(id, buf.Bytes()); err != nil {
+				s.log().Error("persisting graph", "graph", id, "err", err)
+			}
+		}
+	}
 	return info
 }
 

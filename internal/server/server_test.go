@@ -34,9 +34,20 @@ const figure1Edges = `# figure 1
 5 3
 `
 
+// mustNew builds a Server or fails the test (New only errors in
+// durable mode, on a bad data dir).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -344,7 +355,7 @@ func TestAsyncJobLifecycle(t *testing.T) {
 }
 
 func TestClientDisconnectCancelsQueuedWork(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 2})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 2})
 
 	// Occupy the only worker so the request below waits in the queue.
 	block := make(chan struct{})
@@ -383,7 +394,7 @@ func TestClientDisconnectCancelsQueuedWork(t *testing.T) {
 }
 
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -444,7 +455,7 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 func TestQueueFullShedsLoad(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	info := registerFigure1(t, ts)

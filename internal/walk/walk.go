@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"symcluster/internal/checkpoint"
 	"symcluster/internal/faultinject"
 	"symcluster/internal/matrix"
 	"symcluster/internal/obs"
@@ -70,6 +71,11 @@ func StationaryDistribution(p *matrix.CSR, opt Options) ([]float64, error) {
 // context aborts the walk within one iteration with ctx's error. Each
 // call opens a "walk.power" span and records per-iteration L1 deltas
 // through the obs hooks (no-ops without a trace/meter in ctx).
+//
+// When a checkpoint.Sink is installed in ctx, the solve restores the
+// "walk" snapshot for this invocation (resume_iter span attribute),
+// saves π every sink.Interval() iterations, and saves once more at the
+// cancellation boundary so a drained job resumes mid-solve.
 func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) (dist []float64, err error) {
 	opt.fill()
 	n := p.Rows
@@ -99,8 +105,28 @@ func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) 
 	}
 	next := make([]float64, n)
 
-	for iter := 0; iter < opt.MaxIter; iter++ {
+	start := 0
+	sink := checkpoint.FromContext(ctx)
+	if sink != nil {
+		if it0, blob, ok := sink.Restore("walk"); ok && it0 > 0 {
+			// A snapshot for a different-sized graph fails the length
+			// check in DecodeVector and is ignored.
+			if v, derr := checkpoint.DecodeVector(blob, n); derr == nil {
+				pi = v
+				start = it0
+			}
+		}
+		sp.SetAttr("resume_iter", start)
+	}
+	saved := start
+
+	for iter := start; iter < opt.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
+			if sink != nil && iter > saved {
+				// Best-effort snapshot at the cancellation boundary; the
+				// cancel error still wins.
+				saveWalkCheckpoint(ctx, sink, iter, pi)
+			}
 			return nil, err
 		}
 		if err := faultinject.Fire("walk.power"); err != nil {
@@ -140,11 +166,36 @@ func StationaryDistributionCtx(ctx context.Context, p *matrix.CSR, opt Options) 
 			next[i] *= inv
 		}
 		pi, next = next, pi
+		if sink != nil {
+			if n := sink.Interval(); n > 0 && (iter+1-start)%n == 0 {
+				if err := saveWalkCheckpoint(ctx, sink, iter+1, pi); err != nil {
+					return nil, err
+				}
+				saved = iter + 1
+			}
+		}
 		if delta < opt.Tol {
 			return pi, nil
 		}
 	}
 	return nil, fmt.Errorf("walk: power iteration did not converge in %d iterations", opt.MaxIter)
+}
+
+// saveWalkCheckpoint serializes π (VEC1 format) and hands it to the
+// sink, under a "walk.checkpoint" span and fault site.
+func saveWalkCheckpoint(ctx context.Context, sink checkpoint.Sink, iter int, pi []float64) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "walk.checkpoint", obs.A("iter", iter))
+	defer func() { sp.EndErr(err) }()
+	if err = faultinject.Fire("walk.checkpoint"); err != nil {
+		return fmt.Errorf("walk: %w", err)
+	}
+	blob := checkpoint.EncodeVector(pi)
+	if err = sink.Save("walk", iter, blob); err != nil {
+		return fmt.Errorf("walk: saving checkpoint: %w", err)
+	}
+	sp.SetAttr("bytes", len(blob))
+	obs.ObserveCheckpoint(ctx, "walk", len(blob))
+	return nil
 }
 
 // PageRank computes the PageRank vector of the directed graph with
