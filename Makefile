@@ -1,8 +1,9 @@
 # Pre-merge checks for symcluster. `make check` is the documented
 # gate: formatting, vet, the registry and logging lints, a full build,
-# the short test suite, the race detector over the whole module, and a
-# bounded fuzz pass of the edge-list parser. The long statistical
-# experiments (minutes per seed) run only via `make test-long`.
+# the short test suite, the race detector over the whole module, and
+# bounded fuzz passes of the edge-list parser and the binary CSR
+# decoder. The long statistical experiments (minutes per seed) run only
+# via `make test-long`.
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -12,7 +13,7 @@ FUZZTIME ?= 5s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X symcluster/internal/obs.Version=$(VERSION)
 
-.PHONY: check fmt vet lint build test race fuzz crash test-long
+.PHONY: check fmt vet lint build test race fuzz crash test-long bench
 
 check: fmt vet lint build test race crash fuzz
 	@echo "check: ok"
@@ -53,6 +54,13 @@ lint:
 			"(job state must go through internal/jobstore so every" \
 			"mutation is WAL-journaled and crash-safe, DESIGN.md §12):"; \
 		echo "$$out"; exit 1; fi
+	@out="$$(grep -rn --include='*.go' -E '\b(syscall|unix)\.Mmap\b' . \
+		| grep -v '^\./internal/csr/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: raw mmap outside internal/csr" \
+			"(map files through csr.Open so lifetimes, CRC validation," \
+			"and the mapped-bytes gauge stay correct, DESIGN.md §13):"; \
+		echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -73,6 +81,14 @@ crash:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/csr
+
+# Regenerate the out-of-core benchmark artifact: SpGEMM, the full
+# degree-discounted symmetrization, and MLR-MCL, each in-core and
+# against the mmap'd binary CSR store. Takes a couple of minutes; the
+# committed BENCH_PR6.json is the reference copy.
+bench:
+	$(GO) run ./cmd/symbench -out BENCH_PR6.json
 
 test-long:
 	$(GO) test ./...

@@ -1,0 +1,310 @@
+// Command symbench benchmarks the out-of-core CSR store against the
+// in-core kernels on a deterministic synthetic graph and writes the
+// numbers as JSON (by default BENCH_PR6.json, the artifact committed
+// with the out-of-core PR).
+//
+// Usage:
+//
+//	symbench [-nodes N] [-degree D] [-seed S] [-threshold T]
+//	         [-runs R] [-spill-dir DIR] [-out BENCH_PR6.json]
+//
+// Three kernels are timed, each in-core and against memory-mapped
+// operands:
+//
+//   - spgemm: the pruned sparse product A·Aᵀ, the flop core of the
+//     bibliometric and degree-discounted symmetrizations
+//   - symmetrize_dd: the degree-discounted symmetrization end to end
+//     (out-of-core mode spills factor matrices to disk)
+//   - mcl: MLR-MCL clustering of the symmetrized graph (mmap mode reads
+//     the symmetrized matrix from a mapped file)
+//
+// Every out-of-core result is checked bit-identical to its in-core
+// twin before a number is reported; cumulative heap allocation of both
+// symmetrize modes is recorded alongside the wall clock so the
+// bounded-memory claim is visible in the artifact.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	symcluster "symcluster"
+	"symcluster/internal/core"
+	"symcluster/internal/csr"
+	"symcluster/internal/graph"
+	"symcluster/internal/matrix"
+)
+
+// result is one benchmark line of the JSON artifact.
+type result struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"` // "incore", "mmap" or "out_of_core"
+	MillisMedian float64 `json:"millis_median"`
+	MillisMin    float64 `json:"millis_min"`
+	// AllocBytes is the cumulative heap allocation of one run
+	// (recorded for the symmetrize pair, where bounded memory is the
+	// point; 0 elsewhere).
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+}
+
+type report struct {
+	GeneratedBy string   `json:"generated_by"`
+	Nodes       int      `json:"nodes"`
+	Edges       int      `json:"edges"`
+	Threshold   float64  `json:"threshold"`
+	Runs        int      `json:"runs"`
+	GoVersion   string   `json:"go_version"`
+	Benchmarks  []result `json:"benchmarks"`
+	// IdenticalResults records that every out-of-core/mmap product was
+	// verified bit-identical to its in-core twin before timing was
+	// trusted.
+	IdenticalResults bool `json:"identical_results"`
+}
+
+func main() {
+	nodes := flag.Int("nodes", 4000, "synthetic graph size")
+	degree := flag.Int("degree", 12, "out-edges per node")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	threshold := flag.Float64("threshold", 0.001, "product prune threshold")
+	runs := flag.Int("runs", 3, "timed repetitions per benchmark (median reported)")
+	spillDir := flag.String("spill-dir", "", "out-of-core scratch directory (empty: OS temp)")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*nodes, *degree, *seed, *threshold, *runs, *spillDir, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "symbench:", err)
+		os.Exit(1)
+	}
+}
+
+// synthGraph builds a deterministic directed graph: an LCG fan-out per
+// node with a ring edge for connectivity. No hub node — a universal
+// sink would densify A·Aᵀ into a near-complete product and the
+// benchmark would measure that pathology instead of the store.
+func synthGraph(nodes, degree int, seed uint64) (*graph.Directed, error) {
+	b := matrix.NewBuilder(nodes, nodes)
+	state := seed*6364136223846793005 + 1442695040888963407
+	for i := 0; i < nodes; i++ {
+		b.Add(i, (i+1)%nodes, 1.5)
+		for k := 0; k < degree; k++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int(state>>33) % nodes
+			if j != i {
+				b.Add(i, j, float64(1+int(state>>60)))
+			}
+		}
+	}
+	return graph.NewDirected(b.Build(), nil)
+}
+
+// timed measures fn over runs repetitions, returning median and min
+// wall-clock millis plus the cumulative heap allocation of the last
+// repetition.
+func timed(runs int, fn func() error) (median, min float64, alloc int64, err error) {
+	millis := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+		millis = append(millis, float64(time.Since(start))/float64(time.Millisecond))
+		runtime.ReadMemStats(&after)
+		alloc = int64(after.TotalAlloc - before.TotalAlloc)
+	}
+	sort.Float64s(millis)
+	return millis[len(millis)/2], millis[0], alloc, nil
+}
+
+// sameMatrix verifies bit-identity of two CSR matrices.
+func sameMatrix(a, b *matrix.CSR) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return fmt.Errorf("shape mismatch: %dx%d/%d vs %dx%d/%d",
+			a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols, b.NNZ())
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return fmt.Errorf("row pointer %d differs", i)
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			return fmt.Errorf("column %d differs", k)
+		}
+		if math.Float64bits(a.Val[k]) != math.Float64bits(b.Val[k]) {
+			return fmt.Errorf("value %d differs: %v vs %v", k, a.Val[k], b.Val[k])
+		}
+	}
+	return nil
+}
+
+func run(nodes, degree int, seed uint64, threshold float64, runs int, spillDir, out string) error {
+	ctx := context.Background()
+	g, err := synthGraph(nodes, degree, seed)
+	if err != nil {
+		return err
+	}
+	a := g.Adj
+	fmt.Fprintf(os.Stderr, "symbench: %d nodes, %d edges, threshold %g, %d runs\n",
+		g.N(), g.M(), threshold, runs)
+
+	scratch, err := os.MkdirTemp(spillDir, "symbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	rep := report{
+		GeneratedBy:      "symbench",
+		Nodes:            g.N(),
+		Edges:            g.M(),
+		Threshold:        threshold,
+		Runs:             runs,
+		GoVersion:        runtime.Version(),
+		IdenticalResults: true,
+	}
+	add := func(name, mode string, median, min float64, alloc int64) {
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name: name, Mode: mode,
+			MillisMedian: median, MillisMin: min, AllocBytes: alloc,
+		})
+		fmt.Fprintf(os.Stderr, "symbench: %-14s %-11s median %8.1f ms  min %8.1f ms\n",
+			name, mode, median, min)
+	}
+
+	// --- spgemm: pruned A·Aᵀ, heap operands vs mapped operands. ---
+	at := a.Transpose()
+	var inProd *matrix.CSR
+	med, min, _, err := timed(runs, func() error {
+		inProd, err = matrix.MulPrunedCtx(ctx, a, at, threshold)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("spgemm incore: %w", err)
+	}
+	add("spgemm", "incore", med, min, 0)
+
+	aPath := filepath.Join(scratch, "a.csr")
+	atPath := filepath.Join(scratch, "at.csr")
+	if err := csr.WriteMatrix(ctx, aPath, a); err != nil {
+		return err
+	}
+	if err := csr.WriteMatrix(ctx, atPath, at); err != nil {
+		return err
+	}
+	aMap, err := csr.Open(ctx, aPath)
+	if err != nil {
+		return err
+	}
+	defer aMap.Close()
+	atMap, err := csr.Open(ctx, atPath)
+	if err != nil {
+		return err
+	}
+	defer atMap.Close()
+	var mapProd *matrix.CSR
+	med, min, _, err = timed(runs, func() error {
+		mapProd, err = matrix.MulPrunedCtx(ctx, aMap.View(), atMap.View(), threshold)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("spgemm mmap: %w", err)
+	}
+	if err := sameMatrix(inProd, mapProd); err != nil {
+		return fmt.Errorf("spgemm mmap result differs: %w", err)
+	}
+	add("spgemm", "mmap", med, min, 0)
+
+	// --- symmetrize_dd: the full degree-discounted pipeline stage. ---
+	opt := core.Defaults()
+	opt.Threshold = threshold
+	var uIn *graph.Undirected
+	med, min, allocIn, err := timed(runs, func() error {
+		uIn, err = core.SymmetrizeCtx(ctx, g, core.DegreeDiscounted, opt)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("symmetrize incore: %w", err)
+	}
+	add("symmetrize_dd", "incore", med, min, allocIn)
+
+	oocCtx := core.WithOutOfCore(ctx, core.OutOfCoreConfig{ScratchDir: scratch})
+	var uOOC *graph.Undirected
+	med, min, allocOOC, err := timed(runs, func() error {
+		uOOC, err = core.SymmetrizeCtx(oocCtx, g, core.DegreeDiscounted, opt)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("symmetrize out-of-core: %w", err)
+	}
+	if err := sameMatrix(uIn.Adj, uOOC.Adj); err != nil {
+		return fmt.Errorf("out-of-core symmetrization differs: %w", err)
+	}
+	add("symmetrize_dd", "out_of_core", med, min, allocOOC)
+
+	// --- mcl: clustering the symmetrized graph, heap vs mapped input. ---
+	clOpt := symcluster.ClusterOptions{Seed: int64(seed)}
+	var mclIn *symcluster.Clustering
+	med, min, _, err = timed(runs, func() error {
+		mclIn, err = symcluster.ClusterCtx(ctx, uIn, symcluster.MLRMCL, clOpt)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("mcl incore: %w", err)
+	}
+	add("mcl", "incore", med, min, 0)
+
+	uPath := filepath.Join(scratch, "u.csr")
+	if err := csr.WriteMatrix(ctx, uPath, uIn.Adj); err != nil {
+		return err
+	}
+	uMap, err := csr.Open(ctx, uPath)
+	if err != nil {
+		return err
+	}
+	defer uMap.Close()
+	uMapped := &graph.Undirected{Adj: uMap.View()}
+	var mclMap *symcluster.Clustering
+	med, min, _, err = timed(runs, func() error {
+		mclMap, err = symcluster.ClusterCtx(ctx, uMapped, symcluster.MLRMCL, clOpt)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("mcl mmap: %w", err)
+	}
+	if len(mclIn.Assign) != len(mclMap.Assign) {
+		return fmt.Errorf("mcl assignment lengths differ")
+	}
+	for i := range mclIn.Assign {
+		if mclIn.Assign[i] != mclMap.Assign[i] {
+			return fmt.Errorf("mcl assignment differs at node %d", i)
+		}
+	}
+	add("mcl", "mmap", med, min, 0)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "symbench: wrote %s\n", out)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	symcluster -in graph.edges [-method dd|bib|aat|rw] [-algo mcl|metis|graclus|spectral|bestwcut|zhou]
 //	           [-k N] [-alpha A] [-beta B] [-threshold T] [-inflation R]
 //	           [-truth truth.txt] [-seed N] [-stats] [-json]
+//	           [-out-of-core] [-spill-dir DIR]
 //
 // Method and algorithm names come from the pipeline registry: any
 // canonical name or registered alias ("degree-discounted",
@@ -71,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	stats := fs.Bool("stats", false, "print symmetrized-graph statistics to stderr")
 	jsonOut := fs.Bool("json", false, "emit the symclusterd POST /v1/cluster response schema on stdout")
+	outOfCore := fs.Bool("out-of-core", false, "symmetrize out-of-core: large operands live in memory-mapped files under -spill-dir (bit-identical results, bounded resident memory)")
+	spillDir := fs.String("spill-dir", "", "scratch directory for -out-of-core intermediates and spill runs; empty uses the OS temp dir")
 	logLevel := fs.String("log-level", "warn", "minimum log level for structured logs: debug, info, warn, error")
 	traceLog := fs.String("trace-log", "", "append the run's JSON span tree to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -176,6 +179,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// embeds it, -trace-log appends it as one JSON line. Otherwise the
 	// context carries no trace and every span call is a no-op.
 	ctx := context.Background()
+	if *outOfCore {
+		ctx = symcluster.WithOutOfCore(ctx, symcluster.OutOfCoreConfig{ScratchDir: *spillDir})
+	}
 	var tr *obs.Trace
 	var root *obs.Span
 	if *jsonOut || *traceLog != "" {

@@ -9,6 +9,7 @@
 //
 //	symclusterd [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
 //	            [-max-body-mb MB] [-max-job-mb MB] [-max-queue-mb MB]
+//	            [-spill-dir DIR] [-max-spill-mb MB] [-max-resident-mb MB]
 //	            [-timeout D] [-job-ttl D] [-drain-timeout D]
 //	            [-data-dir DIR] [-checkpoint-iters N]
 //	            [-preload graph.edges]
@@ -20,10 +21,14 @@
 // up to -drain-timeout.
 //
 // -max-job-mb is admission control: requests whose estimated working
-// set exceeds the budget are rejected with 413 before they occupy a
-// worker. -max-queue-mb is overload shedding: once the summed
-// estimates of queued jobs reach it, new clustering requests get 429
-// with Retry-After. -job-ttl expires finished async job results.
+// set exceeds the budget run out-of-core when the symmetrization
+// supports it (operands become memory-mapped files under -spill-dir;
+// see README.md "Large graphs"), and are rejected with 413 only when
+// the method has no out-of-core kernel or the projected scratch
+// footprint exceeds -max-spill-mb. -max-queue-mb is overload shedding:
+// once the summed estimates of queued jobs reach it, new clustering
+// requests get 429 with Retry-After. -job-ttl expires finished async
+// job results.
 //
 // Durability (see README.md "Durability & retries" and DESIGN.md §12):
 // -data-dir journals every async job to a write-ahead log, persists
@@ -73,6 +78,9 @@ func main() {
 	maxBodyMB := flag.Int64("max-body-mb", 64, "maximum request body in MiB")
 	maxJobMB := flag.Int64("max-job-mb", 4096, "estimated working-set budget per clustering job in MiB; 0 disables admission control")
 	maxQueueMB := flag.Int64("max-queue-mb", 0, "summed working-set budget of queued jobs in MiB before shedding with 429; 0 disables")
+	spillDir := flag.String("spill-dir", "", "directory for out-of-core scratch (ingest spills, mapped intermediates); empty uses the OS temp dir")
+	maxSpillMB := flag.Int64("max-spill-mb", 0, "disk budget per out-of-core run's scratch files in MiB; over it the request is 413; 0 disables")
+	maxResidentMB := flag.Int64("max-resident-mb", 0, "heap budget for one out-of-core run's resident intermediates in MiB; 0 disables")
 	dataDir := flag.String("data-dir", "", "directory for the durable job WAL and persisted graphs; empty keeps jobs in memory only")
 	checkpointIters := flag.Int("checkpoint-iters", 25, "kernel iterations between WAL checkpoints of durable async jobs")
 	timeout := flag.Duration("timeout", 60*time.Second, "synchronous request deadline")
@@ -122,18 +130,21 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheBytes:      *cacheMB << 20,
-		MaxBodyBytes:    *maxBodyMB << 20,
-		MaxJobBytes:     *maxJobMB << 20,
-		MaxQueueBytes:   *maxQueueMB << 20,
-		RequestTimeout:  *timeout,
-		JobTTL:          *jobTTL,
-		DataDir:         *dataDir,
-		CheckpointIters: *checkpointIters,
-		Logger:          logger,
-		TraceSink:       sink,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       *cacheMB << 20,
+		MaxBodyBytes:     *maxBodyMB << 20,
+		MaxJobBytes:      *maxJobMB << 20,
+		MaxQueueBytes:    *maxQueueMB << 20,
+		SpillDir:         *spillDir,
+		MaxSpillBytes:    *maxSpillMB << 20,
+		MaxResidentBytes: *maxResidentMB << 20,
+		RequestTimeout:   *timeout,
+		JobTTL:           *jobTTL,
+		DataDir:          *dataDir,
+		CheckpointIters:  *checkpointIters,
+		Logger:           logger,
+		TraceSink:        sink,
 	})
 	if err != nil {
 		fatal("initializing server", "err", err)

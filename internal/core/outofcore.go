@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"symcluster/internal/csr"
+	"symcluster/internal/matrix"
+)
+
+// Out-of-core symmetrization: the same kernels, but every large
+// operand — the input adjacency, its transpose, and the scaled factor
+// matrices — lives in memory-mapped binary CSR files instead of the
+// heap. The products stream rows from file-backed pages the OS evicts
+// under pressure, so peak resident memory is bounded by the (pruned)
+// products themselves rather than by the input size. Results are
+// byte-identical to the in-core path: every file operation replicates
+// its in-memory counterpart's value arithmetic bit-for-bit, and the
+// product kernels are the same functions consuming mapped views.
+
+// ErrResidentBudget marks an out-of-core run aborted because its
+// in-memory intermediates (the product matrices, which cannot live on
+// disk) exceeded OutOfCoreConfig.MaxResidentBytes.
+var ErrResidentBudget = errors.New("core: resident memory budget exceeded")
+
+// OutOfCoreConfig enables the out-of-core symmetrization path when
+// installed in the context with WithOutOfCore.
+type OutOfCoreConfig struct {
+	// InputPath is the graph's binary CSR file. When empty, the in-memory
+	// adjacency is first written to scratch (correct, but the input was
+	// evidently already resident).
+	InputPath string
+	// ScratchDir hosts intermediate files and spill runs. Empty means
+	// the OS temp dir.
+	ScratchDir string
+	// MaxResidentBytes bounds the heap-resident intermediates (product
+	// matrices and degree vectors). 0 means unlimited.
+	MaxResidentBytes int64
+	// SpillMemBytes is the external-sort buffer for file transposes.
+	// 0 means 64 MiB.
+	SpillMemBytes int64
+}
+
+type oocKey struct{}
+
+// WithOutOfCore returns a context that routes SymmetrizeCtx through
+// the out-of-core path.
+func WithOutOfCore(ctx context.Context, cfg OutOfCoreConfig) context.Context {
+	return context.WithValue(ctx, oocKey{}, &cfg)
+}
+
+// OutOfCoreFrom returns the installed out-of-core config, or nil.
+func OutOfCoreFrom(ctx context.Context) *OutOfCoreConfig {
+	cfg, _ := ctx.Value(oocKey{}).(*OutOfCoreConfig)
+	return cfg
+}
+
+// oocState owns an out-of-core run's scratch directory and mapped
+// files, and meters the heap-resident intermediates against the
+// configured budget.
+type oocState struct {
+	cfg      *OutOfCoreConfig
+	scratch  string
+	a        *matrix.CSR // mapped view of the (possibly augmented) input
+	maps     []*csr.Mapped
+	resident int64
+}
+
+func newOOCState(ctx context.Context, a *matrix.CSR, cfg *OutOfCoreConfig) (*oocState, error) {
+	scratch, err := os.MkdirTemp(cfg.ScratchDir, "symcluster-ooc-*")
+	if err != nil {
+		return nil, fmt.Errorf("core: out-of-core scratch: %w", err)
+	}
+	s := &oocState{cfg: cfg, scratch: scratch}
+	input := cfg.InputPath
+	if input == "" {
+		input = s.path("input.csr")
+		if err := csr.WriteMatrix(ctx, input, a); err != nil {
+			s.close()
+			return nil, err
+		}
+	}
+	view, err := s.open(ctx, input)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	s.a = view
+	return s, nil
+}
+
+func (s *oocState) path(name string) string { return filepath.Join(s.scratch, name) }
+
+// open maps a binary CSR file and tracks the handle for close.
+func (s *oocState) open(ctx context.Context, path string) (*matrix.CSR, error) {
+	mp, err := csr.Open(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	s.maps = append(s.maps, mp)
+	return mp.View(), nil
+}
+
+// close unmaps everything and removes the scratch directory. The
+// returned matrices of the kernels never alias mapped memory (products
+// are fresh heap allocations), so closing after the kernel is safe.
+func (s *oocState) close() {
+	for _, mp := range s.maps {
+		mp.Close()
+	}
+	s.maps = nil
+	os.RemoveAll(s.scratch)
+}
+
+// charge meters bytes of heap-resident intermediates.
+func (s *oocState) charge(bytes int64) error {
+	s.resident += bytes
+	if s.cfg.MaxResidentBytes > 0 && s.resident > s.cfg.MaxResidentBytes {
+		return fmt.Errorf("%w: %d bytes of in-memory intermediates over the %d-byte budget; raise the budget or the prune threshold", ErrResidentBudget, s.resident, s.cfg.MaxResidentBytes)
+	}
+	return nil
+}
+
+func (s *oocState) spillMem() int64 {
+	if s.cfg.SpillMemBytes > 0 {
+		return s.cfg.SpillMemBytes
+	}
+	return 64 << 20
+}
+
+// transpose writes srcᵀ to a scratch file and maps it.
+func (s *oocState) transpose(ctx context.Context, src *matrix.CSR, name string) (*matrix.CSR, error) {
+	dst := s.path(name)
+	if err := csr.TransposeToFile(ctx, src, s.scratch, dst, s.spillMem()); err != nil {
+		return nil, err
+	}
+	return s.open(ctx, dst)
+}
+
+// matBytes is the heap footprint of an in-memory CSR.
+func matBytes(m *matrix.CSR) int64 {
+	return 8*int64(m.Rows+1) + 12*int64(m.NNZ())
+}
+
+// symmetrizeOutOfCore dispatches to the method's out-of-core kernel.
+// The input view comes from cfg.InputPath when set (the adjacency in g
+// is then untouched and may itself be a mapped view), else from a
+// scratch copy of g's adjacency.
+func symmetrizeOutOfCore(ctx context.Context, a *matrix.CSR, method Method, opt Options, cfg *OutOfCoreConfig) (*matrix.CSR, error) {
+	kernel, ok := oocKernels[method]
+	if !ok {
+		return nil, fmt.Errorf("core: symmetrization method %v cannot run out-of-core", method)
+	}
+	s, err := newOOCState(ctx, a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+	return kernel(ctx, s, opt)
+}
+
+// oocKernels maps each method to its out-of-core kernel, mirroring the
+// in-core kernels map (and, like it, staying out of switch statements
+// so the pipeline registry owns the catalog).
+var oocKernels = map[Method]func(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error){
+	AAT:              oocAAT,
+	RandomWalk:       oocRandomWalk,
+	Bibliometric:     oocBibliometric,
+	DegreeDiscounted: oocDegreeDiscounted,
+}
+
+// oocSelfProduct computes x·xᵀ given xᵀ already on file, mirroring
+// selfProductCtx's backend selection so results stay bit-identical.
+// The APSS backend builds its own in-memory index, so it gains nothing
+// from the transpose file and delegates to the in-core path over the
+// mapped view.
+func oocSelfProduct(ctx context.Context, x, xt *matrix.CSR, opt Options) (*matrix.CSR, error) {
+	if !opt.UseAPSS || opt.Threshold <= 0 {
+		if opt.Workers > 1 {
+			return matrix.MulPrunedParallelCtx(ctx, x, xt, opt.Threshold, opt.Workers)
+		}
+		return matrix.MulPrunedCtx(ctx, x, xt, opt.Threshold)
+	}
+	return selfProductCtx(ctx, x, opt)
+}
+
+// augmented returns the input view, replaced by an A+I scratch file
+// when opt.AddSelfLoops is set.
+func (s *oocState) augmented(ctx context.Context, opt Options) (*matrix.CSR, error) {
+	if !opt.AddSelfLoops {
+		return s.a, nil
+	}
+	dst := s.path("aug.csr")
+	if err := csr.AugmentIdentityToFile(ctx, s.a, dst); err != nil {
+		return nil, err
+	}
+	return s.open(ctx, dst)
+}
+
+// oocAAT computes A + Aᵀ with the transpose streamed through a file.
+func oocAAT(ctx context.Context, s *oocState, _ Options) (*matrix.CSR, error) {
+	at, err := s.transpose(ctx, s.a, "at.csr")
+	if err != nil {
+		return nil, err
+	}
+	u := matrix.Add(s.a, at, 1, 1)
+	if err := s.charge(matBytes(u)); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// oocRandomWalk runs the in-core random-walk kernel over the mapped
+// view: its intermediates (transition matrix, ΠP and the result) are
+// all sized like the input, so they are metered, but the algorithm has
+// no product blow-up to keep on disk.
+func oocRandomWalk(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
+	if err := s.charge(3 * matBytes(s.a)); err != nil {
+		return nil, err
+	}
+	return SymmetrizeRandomWalkCtx(ctx, s.a, opt.Teleport)
+}
+
+// oocBibliometric computes AAᵀ + AᵀA with A and Aᵀ mapped. The
+// co-citation term AᵀA is the self-product of Aᵀ, whose transpose is A
+// again — bit-identically, since transposition copies values exactly —
+// so one transpose file serves both products.
+func oocBibliometric(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
+	a, err := s.augmented(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	at, err := s.transpose(ctx, a, "at.csr")
+	if err != nil {
+		return nil, err
+	}
+	coupling, err := oocSelfProduct(ctx, a, at, opt) // AAᵀ
+	if err != nil {
+		return nil, err
+	}
+	if err := s.charge(matBytes(coupling)); err != nil {
+		return nil, err
+	}
+	cocitation, err := oocSelfProduct(ctx, at, a, opt) // AᵀA
+	if err != nil {
+		return nil, err
+	}
+	if err := s.charge(matBytes(cocitation)); err != nil {
+		return nil, err
+	}
+	u := matrix.Add(coupling, cocitation, 1, 1)
+	if opt.DropDiagonal {
+		u = u.DropDiagonal()
+	}
+	return u, nil
+}
+
+// oocDegreeDiscounted computes the degree-discounted similarity with
+// every scaled factor matrix on file: X = D_o^{-α} A D_i^{-β/2} and
+// Y = D_i^{-β} Aᵀ D_o^{-α/2} are produced by streaming scans of the
+// mapped input (and its file transpose) and are themselves mapped for
+// the two self-products.
+func oocDegreeDiscounted(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
+	if opt.Alpha < 0 || opt.Beta < 0 {
+		return nil, fmt.Errorf("core: negative discount exponents α=%v β=%v", opt.Alpha, opt.Beta)
+	}
+	a, err := s.augmented(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	outDeg := a.RowCounts()
+	inDeg := a.ColCounts()
+	if err := s.charge(16 * int64(a.Rows)); err != nil { // two []int
+		return nil, err
+	}
+
+	alphaFull := discountVector(outDeg, opt.AlphaKind, opt.Alpha, 1)
+	alphaHalf := discountVector(outDeg, opt.AlphaKind, opt.Alpha, 0.5)
+	betaFull := discountVector(inDeg, opt.BetaKind, opt.Beta, 1)
+	betaHalf := discountVector(inDeg, opt.BetaKind, opt.Beta, 0.5)
+
+	// X = D_o^{-α} A D_i^{-β/2}, its transpose, and B_d = X·Xᵀ.
+	xPath := s.path("x.csr")
+	if err := csr.ScaleToFile(ctx, a, alphaFull, betaHalf, xPath); err != nil {
+		return nil, err
+	}
+	x, err := s.open(ctx, xPath)
+	if err != nil {
+		return nil, err
+	}
+	xt, err := s.transpose(ctx, x, "xt.csr")
+	if err != nil {
+		return nil, err
+	}
+	bd, err := oocSelfProduct(ctx, x, xt, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.charge(matBytes(bd)); err != nil {
+		return nil, err
+	}
+
+	// Y = D_i^{-β} Aᵀ D_o^{-α/2} via the file transpose of A, and
+	// C_d = Y·Yᵀ.
+	at, err := s.transpose(ctx, a, "at.csr")
+	if err != nil {
+		return nil, err
+	}
+	yPath := s.path("y.csr")
+	if err := csr.ScaleToFile(ctx, at, betaFull, alphaHalf, yPath); err != nil {
+		return nil, err
+	}
+	y, err := s.open(ctx, yPath)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := s.transpose(ctx, y, "yt.csr")
+	if err != nil {
+		return nil, err
+	}
+	cd, err := oocSelfProduct(ctx, y, yt, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.charge(matBytes(cd)); err != nil {
+		return nil, err
+	}
+
+	u := matrix.Add(bd, cd, 1, 1)
+	if opt.DropDiagonal {
+		u = u.DropDiagonal()
+	}
+	return u, nil
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"symcluster/internal/csr"
+	"symcluster/internal/graph"
+	"symcluster/internal/matrix"
+)
+
+// oocTestGraph builds a deterministic directed graph with hubs,
+// duplicate-free integer-ish weights and some reciprocal edges.
+func oocTestGraph(t *testing.T, n, perNode int, seed uint64) *graph.Directed {
+	t.Helper()
+	b := matrix.NewBuilder(n, n)
+	x := seed
+	next := func(m int) int {
+		x = x*6364136223846793005 + 1442695040888963407
+		return int((x >> 33) % uint64(m))
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < perNode; k++ {
+			j := next(n)
+			if j == i {
+				continue
+			}
+			b.Add(i, j, float64(next(5)+1))
+		}
+		// Hub: everyone occasionally points at node 0.
+		if next(3) == 0 {
+			b.Add(i, 0, 1)
+		}
+	}
+	g, err := graph.NewDirected(b.Build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func bitIdentical(t *testing.T, want, got *matrix.CSR) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols || want.NNZ() != got.NNZ() {
+		t.Fatalf("shape/nnz mismatch: got %dx%d/%d, want %dx%d/%d",
+			got.Rows, got.Cols, got.NNZ(), want.Rows, want.Cols, want.NNZ())
+	}
+	for i := range want.RowPtr {
+		if want.RowPtr[i] != got.RowPtr[i] {
+			t.Fatalf("RowPtr[%d] differs", i)
+		}
+	}
+	for k := range want.ColIdx {
+		if want.ColIdx[k] != got.ColIdx[k] {
+			t.Fatalf("ColIdx[%d] differs", k)
+		}
+		if math.Float64bits(want.Val[k]) != math.Float64bits(got.Val[k]) {
+			t.Fatalf("Val[%d]: %v vs %v — not bit-identical", k, want.Val[k], got.Val[k])
+		}
+	}
+}
+
+// TestOutOfCoreBitIdentity is the core contract: for every method and
+// option mix, the out-of-core path produces byte-identical output to
+// the in-core path.
+func TestOutOfCoreBitIdentity(t *testing.T) {
+	g := oocTestGraph(t, 300, 6, 99)
+	for _, tc := range []struct {
+		name   string
+		method Method
+		opt    Options
+	}{
+		{"aat", AAT, Defaults()},
+		{"rw", RandomWalk, Defaults()},
+		{"bib", Bibliometric, Defaults()},
+		{"bib-selfloops-thr", Bibliometric, func() Options {
+			o := Defaults()
+			o.AddSelfLoops = true
+			o.Threshold = 0.5
+			return o
+		}()},
+		{"bib-keep-diag", Bibliometric, func() Options {
+			o := Defaults()
+			o.DropDiagonal = false
+			return o
+		}()},
+		{"dd", DegreeDiscounted, Defaults()},
+		{"dd-thr", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.Threshold = 0.01
+			return o
+		}()},
+		{"dd-log", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.AlphaKind, o.BetaKind = LogDiscount, LogDiscount
+			return o
+		}()},
+		{"dd-selfloops", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.AddSelfLoops = true
+			return o
+		}()},
+		{"dd-workers", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.Workers = 4
+			return o
+		}()},
+		{"dd-apss", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.Threshold = 0.01
+			o.UseAPSS = true
+			return o
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := SymmetrizeCtx(context.Background(), g, tc.method, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := WithOutOfCore(context.Background(), OutOfCoreConfig{ScratchDir: t.TempDir()})
+			got, err := SymmetrizeCtx(ctx, g, tc.method, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitIdentical(t, want.Adj, got.Adj)
+		})
+	}
+}
+
+// TestOutOfCoreFromMappedFile runs the path a server job takes: the
+// graph already lives in a binary CSR file and InputPath points at it,
+// so no in-memory copy is ever written to scratch.
+func TestOutOfCoreFromMappedFile(t *testing.T) {
+	g := oocTestGraph(t, 200, 5, 7)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csr")
+	if err := csr.WriteMatrix(context.Background(), path, g.Adj); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := csr.Open(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	mg, err := graph.NewDirected(mp.View(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := Defaults()
+	opt.Threshold = 0.01
+	want, err := SymmetrizeCtx(context.Background(), g, DegreeDiscounted, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithOutOfCore(context.Background(), OutOfCoreConfig{InputPath: path, ScratchDir: dir})
+	got, err := SymmetrizeCtx(ctx, mg, DegreeDiscounted, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, want.Adj, got.Adj)
+}
+
+// TestOutOfCoreResidentBudget: a budget too small for the product
+// matrices fails with ErrResidentBudget rather than OOMing.
+func TestOutOfCoreResidentBudget(t *testing.T) {
+	g := oocTestGraph(t, 300, 6, 13)
+	ctx := WithOutOfCore(context.Background(), OutOfCoreConfig{
+		ScratchDir:       t.TempDir(),
+		MaxResidentBytes: 1024,
+	})
+	_, err := SymmetrizeCtx(ctx, g, DegreeDiscounted, Defaults())
+	if !errors.Is(err, ErrResidentBudget) {
+		t.Fatalf("err = %v, want ErrResidentBudget", err)
+	}
+}
+
+// TestOutOfCoreAllocatesLess is the coarse bounded-memory check: with
+// the input in a file, the out-of-core degree-discounted run must
+// allocate meaningfully less heap than the in-core run, which clones
+// the input three times (scaled X, transposes, scaled Y) before
+// multiplying.
+func TestOutOfCoreAllocatesLess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is noisy under -short")
+	}
+	// A dense input with an aggressive prune threshold: the (pruned)
+	// products are small, so the in-core path's cost is dominated by its
+	// input-sized clones (scaled X and Y, plus a transpose per product)
+	// — exactly the allocations the out-of-core path moves to disk.
+	g := oocTestGraph(t, 10000, 60, 31)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csr")
+	if err := csr.WriteMatrix(context.Background(), path, g.Adj); err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.Threshold = 1.0
+
+	measure := func(f func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		f()
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	inCore := measure(func() {
+		if _, err := SymmetrizeCtx(context.Background(), g, DegreeDiscounted, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mp, err := csr.Open(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	mg, err := graph.NewDirected(mp.View(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithOutOfCore(context.Background(), OutOfCoreConfig{
+		InputPath: path, ScratchDir: dir, SpillMemBytes: 4 << 20,
+	})
+	outOfCore := measure(func() {
+		if _, err := SymmetrizeCtx(ctx, mg, DegreeDiscounted, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// The in-core path materialises ≥ 3 input-sized clones plus an
+	// in-memory transpose per product; out-of-core keeps all of those on
+	// disk. Requiring a 1.5x gap keeps the check robust to allocator
+	// noise while still failing if someone reintroduces an input-sized
+	// heap copy.
+	if float64(outOfCore)*1.5 > float64(inCore) {
+		t.Fatalf("out-of-core allocated %d bytes vs in-core %d — not meaningfully bounded", outOfCore, inCore)
+	}
+	t.Logf("in-core allocated %.1f MiB, out-of-core %.1f MiB", float64(inCore)/(1<<20), float64(outOfCore)/(1<<20))
+}

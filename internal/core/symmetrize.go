@@ -172,6 +172,14 @@ func SymmetrizeCtx(ctx context.Context, g *graph.Directed, method Method, opt Op
 	if err := faultinject.Fire("core.symmetrize"); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if cfg := OutOfCoreFrom(ctx); cfg != nil {
+		sp.SetAttr("out_of_core", true)
+		u, err := symmetrizeOutOfCore(ctx, g.Adj, method, opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &graph.Undirected{Adj: u, Labels: g.Labels}, nil
+	}
 	kernel, ok := kernels[method]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown symmetrization method %v", method)

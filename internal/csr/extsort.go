@@ -1,0 +1,278 @@
+package csr
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// triplet is one (row, col, value) record of the external sorter. 16
+// bytes on disk: row u32 | col u32 | value f64, little-endian.
+type triplet struct {
+	r, c int32
+	v    float64
+}
+
+const tripletBytes = 16
+
+// extSorter sorts a stream of triplets by (row, col) in bounded
+// memory: adds accumulate in a buffer that spills to sorted run files
+// when full, and each() k-way-merges the runs plus the in-memory tail.
+//
+// Duplicate coordinates are preserved (never combined inside a run) in
+// their arrival order — the stable spill sort plus the run-ordered
+// merge replay them to the consumer exactly as they were added, so a
+// summing consumer reproduces the in-memory Builder's left-to-right
+// accumulation order.
+type extSorter struct {
+	dir     string
+	limit   int // buffered triplets before a spill
+	buf     []triplet
+	sorted  bool
+	runs    []string
+	spills  int64
+	merged  int64 // bytes streamed through the merge so far
+	scratch []byte
+}
+
+// newExtSorter sorts under dir (which must exist) with roughly
+// budgetBytes of buffered triplets (minimum 64 KiB).
+func newExtSorter(dir string, budgetBytes int64) *extSorter {
+	limit := int(budgetBytes / tripletBytes)
+	if limit < 4096 {
+		limit = 4096
+	}
+	// Allocate the full buffer once: growing it incrementally would
+	// cumulatively allocate ~5x the budget in discarded copies.
+	return &extSorter{dir: dir, limit: limit, buf: make([]triplet, 0, limit)}
+}
+
+// add buffers one triplet, spilling a sorted run when the buffer is
+// full.
+func (s *extSorter) add(t triplet) error {
+	s.buf = append(s.buf, t)
+	s.sorted = false
+	if len(s.buf) >= s.limit {
+		return s.spill()
+	}
+	return nil
+}
+
+// sortBuf stably sorts the buffer by (row, col), preserving arrival
+// order of duplicates.
+func (s *extSorter) sortBuf() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool {
+		if s.buf[i].r != s.buf[j].r {
+			return s.buf[i].r < s.buf[j].r
+		}
+		return s.buf[i].c < s.buf[j].c
+	})
+	s.sorted = true
+}
+
+// spill writes the sorted buffer as one run file and resets it.
+func (s *extSorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	s.sortBuf()
+	path := filepath.Join(s.dir, fmt.Sprintf("run-%06d", len(s.runs)))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("csr: spilling run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 256*1024)
+	var b [tripletBytes]byte
+	for _, t := range s.buf {
+		binary.LittleEndian.PutUint32(b[0:4], uint32(t.r))
+		binary.LittleEndian.PutUint32(b[4:8], uint32(t.c))
+		binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(t.v))
+		if _, err := bw.Write(b[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("csr: spilling run: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("csr: spilling run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("csr: spilling run: %w", err)
+	}
+	s.runs = append(s.runs, path)
+	s.spills++
+	s.buf = s.buf[:0]
+	s.sorted = false
+	return nil
+}
+
+// runReader streams one run file (or the in-memory tail) during a
+// merge.
+type runReader struct {
+	f    *os.File
+	br   *bufio.Reader
+	mem  []triplet // in-memory tail, when f is nil
+	pos  int
+	cur  triplet
+	done bool
+	seq  int // temporal order for stable duplicate replay
+	// rec is the read buffer — a field because a local passed to the
+	// io.Reader interface escapes, costing an allocation per record.
+	rec [tripletBytes]byte
+}
+
+func (r *runReader) next() (bool, error) {
+	if r.f == nil {
+		if r.pos >= len(r.mem) {
+			r.done = true
+			return false, nil
+		}
+		r.cur = r.mem[r.pos]
+		r.pos++
+		return true, nil
+	}
+	b := &r.rec
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		if err == io.EOF {
+			r.done = true
+			return false, nil
+		}
+		return false, fmt.Errorf("csr: reading run: %w", err)
+	}
+	r.cur = triplet{
+		r: int32(binary.LittleEndian.Uint32(b[0:4])),
+		c: int32(binary.LittleEndian.Uint32(b[4:8])),
+		v: math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	return true, nil
+}
+
+// runHeap orders readers by (row, col, seq): equal coordinates pop in
+// run-creation order, which is arrival order.
+type runHeap []*runReader
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.cur.r != b.cur.r {
+		return a.cur.r < b.cur.r
+	}
+	if a.cur.c != b.cur.c {
+		return a.cur.c < b.cur.c
+	}
+	return a.seq < b.seq
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// each merges the runs and the in-memory tail, calling fn for every
+// triplet in (row, col, arrival) order. It may be called more than
+// once (run files are re-read); the caller must not add concurrently.
+func (s *extSorter) each(fn func(t triplet) error) (err error) {
+	s.sortBuf()
+	h := make(runHeap, 0, len(s.runs)+1)
+	defer func() {
+		for _, r := range h {
+			if r.f != nil {
+				r.f.Close()
+			}
+		}
+	}()
+	for i, path := range s.runs {
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return fmt.Errorf("csr: reopening run: %w", oerr)
+		}
+		h = append(h, &runReader{f: f, br: bufio.NewReaderSize(f, 256*1024), seq: i})
+	}
+	h = append(h, &runReader{mem: s.buf, seq: len(s.runs)})
+	live := h[:0:0]
+	for _, r := range h {
+		ok, nerr := r.next()
+		if nerr != nil {
+			return nerr
+		}
+		if ok {
+			live = append(live, r)
+		} else if r.f != nil {
+			r.f.Close()
+			r.f = nil
+		}
+	}
+	h = live
+	heap.Init(&h)
+	for h.Len() > 0 {
+		r := h[0]
+		if err := fn(r.cur); err != nil {
+			return err
+		}
+		s.merged += tripletBytes
+		ok, nerr := r.next()
+		if nerr != nil {
+			return nerr
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			if r.f != nil {
+				r.f.Close()
+				r.f = nil
+			}
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// eachSummed merges like each but groups duplicate (row, col)
+// coordinates, summing their values in arrival order and dropping
+// groups that sum to exactly zero — the in-memory Builder's semantics.
+func (s *extSorter) eachSummed(fn func(t triplet) error) error {
+	var cur triplet
+	have := false
+	flush := func() error {
+		if !have || cur.v == 0 {
+			have = false
+			return nil
+		}
+		have = false
+		return fn(cur)
+	}
+	if err := s.each(func(t triplet) error {
+		if have && t.r == cur.r && t.c == cur.c {
+			cur.v += t.v
+			return nil
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		cur = t
+		have = true
+		return nil
+	}); err != nil {
+		return err
+	}
+	return flush()
+}
+
+// stats reports the spill-run count and merged byte volume so far.
+func (s *extSorter) stats() (spills, mergedBytes int64) { return s.spills, s.merged }
+
+// cleanup removes the run files.
+func (s *extSorter) cleanup() {
+	for _, path := range s.runs {
+		os.Remove(path)
+	}
+	s.runs = nil
+	s.buf = nil
+}

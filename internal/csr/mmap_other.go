@@ -1,0 +1,18 @@
+//go:build !unix
+
+package csr
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy read path; without it Open falls
+// back to reading the whole file (correct, just not out-of-core).
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("csr: mmap unsupported on this platform")
+}
+
+func munmapFile(_ []byte) error { return nil }

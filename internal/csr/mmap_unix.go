@@ -1,0 +1,24 @@
+//go:build unix
+
+package csr
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy read path; on these platforms
+// Open maps the file instead of reading it into the heap.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: pages are
+// file-backed and clean, so the OS evicts them freely under memory
+// pressure — this is what bounds resident memory for out-of-core runs.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,154 @@
+package csr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"symcluster/internal/matrix"
+)
+
+// This file holds the streaming file-to-file matrix operations the
+// out-of-core symmetrization path needs: transpose, diagonal scaling
+// and A+I augmentation. Each reads a mapped source one row at a time
+// and writes a new binary CSR file, so peak resident memory is the
+// external-sort buffer (transpose) or one row (the others) — never a
+// full matrix. Value arithmetic replicates the in-memory kernels
+// bit-for-bit (same operations in the same order), which is what lets
+// out-of-core runs produce byte-identical results to in-core runs.
+
+// TransposeToFile writes srcᵀ to dstPath. The entries are reordered
+// with an external sort under scratchDir using roughly memBudgetBytes
+// of buffer; values are exact copies, and within each output row they
+// land in ascending original-row order — the same layout
+// (*matrix.CSR).Transpose produces.
+func TransposeToFile(ctx context.Context, src *matrix.CSR, scratchDir, dstPath string, memBudgetBytes int64) error {
+	s := newExtSorter(scratchDir, memBudgetBytes)
+	defer s.cleanup()
+	for i := 0; i < src.Rows; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cols, vals := src.Row(i)
+		for k, c := range cols {
+			if err := s.add(triplet{r: c, c: int32(i), v: vals[k]}); err != nil {
+				return err
+			}
+		}
+	}
+	w, err := NewWriter(dstPath, src.Cols, src.Rows, int64(src.NNZ()))
+	if err != nil {
+		return err
+	}
+	// Source columns are unique per row, so (r, c) pairs are unique: a
+	// plain merge needs no duplicate handling.
+	if err := s.each(func(t triplet) error {
+		return w.Append(int(t.r), t.c, t.v)
+	}); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close(ctx)
+}
+
+// ScaleToFile writes diag(rowScale)·src·diag(colScale) to dstPath,
+// streaming one row at a time. A nil scale vector means identity.
+// Each value is multiplied by its row factor first, then its column
+// factor — the same order as ScaleRows followed by ScaleCols, so the
+// rounding matches the in-memory pipeline exactly.
+func ScaleToFile(ctx context.Context, src *matrix.CSR, rowScale, colScale []float64, dstPath string) error {
+	if rowScale != nil && len(rowScale) != src.Rows {
+		return fmt.Errorf("csr: row scale length %d, want %d", len(rowScale), src.Rows)
+	}
+	if colScale != nil && len(colScale) != src.Cols {
+		return fmt.Errorf("csr: column scale length %d, want %d", len(colScale), src.Cols)
+	}
+	w, err := NewWriter(dstPath, src.Rows, src.Cols, int64(src.NNZ()))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < src.Rows; i++ {
+		if err := ctx.Err(); err != nil {
+			w.Abort()
+			return err
+		}
+		cols, vals := src.Row(i)
+		for k, c := range cols {
+			v := vals[k]
+			if rowScale != nil {
+				v *= rowScale[i]
+			}
+			if colScale != nil {
+				v *= colScale[c]
+			}
+			if err := w.Append(i, c, v); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+	}
+	return w.Close(ctx)
+}
+
+// AugmentIdentityToFile writes src + I to dstPath for square src,
+// streaming one row at a time. Semantics match
+// (*matrix.CSR).AddIdentity exactly: an existing diagonal entry v
+// becomes v + 1 and is dropped when the sum is exactly zero; missing
+// diagonals are inserted as 1.
+func AugmentIdentityToFile(ctx context.Context, src *matrix.CSR, dstPath string) error {
+	if src.Rows != src.Cols {
+		return fmt.Errorf("csr: AugmentIdentity on non-square %dx%d matrix", src.Rows, src.Cols)
+	}
+	// Pass 1: exact output nnz. Each row gains one entry unless the
+	// diagonal already exists, and loses one when v + 1 == 0.
+	nnz := int64(src.NNZ())
+	for i := 0; i < src.Rows; i++ {
+		cols, vals := src.Row(i)
+		k := sort.Search(len(cols), func(j int) bool { return cols[j] >= int32(i) })
+		if k < len(cols) && cols[k] == int32(i) {
+			if vals[k]+1 == 0 {
+				nnz--
+			}
+		} else {
+			nnz++
+		}
+	}
+	w, err := NewWriter(dstPath, src.Rows, src.Cols, nnz)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error { w.Abort(); return err }
+	for i := 0; i < src.Rows; i++ {
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
+		cols, vals := src.Row(i)
+		placed := false
+		for k, c := range cols {
+			switch {
+			case c == int32(i):
+				placed = true
+				if v := vals[k] + 1; v != 0 {
+					if err := w.Append(i, c, v); err != nil {
+						return abort(err)
+					}
+				}
+				continue
+			case c > int32(i) && !placed:
+				placed = true
+				if err := w.Append(i, int32(i), 1); err != nil {
+					return abort(err)
+				}
+			}
+			if err := w.Append(i, c, vals[k]); err != nil {
+				return abort(err)
+			}
+		}
+		if !placed {
+			if err := w.Append(i, int32(i), 1); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	return w.Close(ctx)
+}

@@ -27,6 +27,8 @@
 //	multilevel.level  each coarsening level
 //	jobstore.append   each WAL record append (before the write)
 //	jobstore.compact  each WAL compaction (before the rewrite)
+//	csr.write         each binary CSR file finalize (before header/rename)
+//	csr.ingest        each streaming-ingest finalize (before the merge)
 //
 // Sites where no error can propagate (the cache, whose API is
 // infallible) honour only Panic and Delay faults; the returned error is

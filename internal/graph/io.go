@@ -18,10 +18,14 @@ import (
 // map it to 413 Request Entity Too Large instead of 400.
 var ErrInputTooLarge = errors.New("graph: input too large")
 
-// maxLineBytes bounds one edge-list line. Any legitimate
+// MaxLineBytes bounds one edge-list line. Any legitimate
 // "src dst weight" record fits in well under a hundred bytes; a longer
-// line is either corruption or an attempt to exhaust memory.
-const maxLineBytes = 16 * 1024 * 1024
+// line is either corruption or an attempt to exhaust memory. Exported
+// so the streaming ingester (internal/csr) applies the same cap to
+// chunked uploads.
+const MaxLineBytes = 16 * 1024 * 1024
+
+const maxLineBytes = MaxLineBytes
 
 // scanErr converts a scanner failure into a caller-facing error,
 // surfacing oversized lines as ErrInputTooLarge.
@@ -58,6 +62,57 @@ func WriteEdgeList(w io.Writer, g *Directed) error {
 	return bw.Flush()
 }
 
+// ParseEdgeLine parses one line of the edge-list format. It returns
+// skip=true for blank lines and comments. Malformed records —
+// non-integer or negative ids, weights that are NaN, infinite or
+// negative — are rejected with the given line number in the error.
+// ReadEdgeList and the streaming ingester (internal/csr) share this
+// parser so their accepted grammars can never drift apart.
+func ParseEdgeLine(lineNo int, line string) (u, v int, w float64, skip bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return 0, 0, 0, true, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 && len(fields) != 3 {
+		return 0, 0, 0, false, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+	}
+	u, err = strconv.Atoi(fields[0])
+	if err != nil || u < 0 {
+		return 0, 0, 0, false, fmt.Errorf("graph: line %d: bad source id %q", lineNo, fields[0])
+	}
+	v, err = strconv.Atoi(fields[1])
+	if err != nil || v < 0 {
+		return 0, 0, 0, false, fmt.Errorf("graph: line %d: bad destination id %q", lineNo, fields[1])
+	}
+	w = 1.0
+	if len(fields) == 3 {
+		w, err = strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return 0, 0, 0, false, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+		}
+		// NaN poisons every downstream kernel silently, infinities
+		// overflow the products, and the similarity semantics of the
+		// symmetrizations assume non-negative weights — reject all
+		// three here, with the line, rather than deep in a kernel.
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return 0, 0, 0, false, fmt.Errorf("graph: line %d: weight %q must be a finite non-negative number", lineNo, fields[2])
+		}
+	}
+	return u, v, w, false, nil
+}
+
+// CheckIDDensity guards against absurdly sparse id spaces: a single
+// stray id like 999999999 would otherwise allocate gigabytes of row
+// pointers. Ids must be reasonably dense; renumber the input if they
+// are not. edges is the number of parsed records (before dedup).
+func CheckIDDensity(maxID int, edges int64) error {
+	if maxID >= 0 && int64(maxID)+1 > 1000*edges+1024 {
+		return fmt.Errorf("graph: node id %d too large for %d edges; renumber ids densely", maxID, edges)
+	}
+	return nil
+}
+
 // ReadEdgeList parses an edge-list stream into a directed graph. The
 // node count is one greater than the largest id seen; duplicate edges
 // have their weights summed. Malformed records — non-integer or
@@ -76,35 +131,12 @@ func ReadEdgeList(r io.Reader) (*Directed, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		u, v, w, skip, err := ParseEdgeLine(lineNo, sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if skip {
 			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 && len(fields) != 3 {
-			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
-		}
-		u, err := strconv.Atoi(fields[0])
-		if err != nil || u < 0 {
-			return nil, fmt.Errorf("graph: line %d: bad source id %q", lineNo, fields[0])
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: bad destination id %q", lineNo, fields[1])
-		}
-		w := 1.0
-		if len(fields) == 3 {
-			w, err = strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
-			}
-			// NaN poisons every downstream kernel silently, infinities
-			// overflow the products, and the similarity semantics of the
-			// symmetrizations assume non-negative weights — reject all
-			// three here, with the line, rather than deep in a kernel.
-			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-				return nil, fmt.Errorf("graph: line %d: weight %q must be a finite non-negative number", lineNo, fields[2])
-			}
 		}
 		if u > maxID {
 			maxID = u
@@ -117,11 +149,8 @@ func ReadEdgeList(r io.Reader) (*Directed, error) {
 	if err := sc.Err(); err != nil {
 		return nil, scanErr("edge list", err)
 	}
-	// Guard against absurdly sparse id spaces: a single stray id like
-	// 999999999 would otherwise allocate gigabytes of row pointers.
-	// Ids must be reasonably dense; renumber the input if they are not.
-	if maxID >= 0 && int64(maxID)+1 > 1000*int64(len(edges))+1024 {
-		return nil, fmt.Errorf("graph: node id %d too large for %d edges; renumber ids densely", maxID, len(edges))
+	if err := CheckIDDensity(maxID, int64(len(edges))); err != nil {
+		return nil, err
 	}
 	b := matrix.NewBuilder(maxID+1, maxID+1)
 	b.Reserve(len(edges))

@@ -537,3 +537,87 @@ func (s *Store) ForEachGraph(fn func(id string, data []byte) error) error {
 	}
 	return nil
 }
+
+// GraphCSRPath returns where graph id's binary CSR file lives (or
+// would live). It does not check existence.
+func (s *Store) GraphCSRPath(id string) string {
+	return filepath.Join(s.dir, "graphs", id+".csr")
+}
+
+// AdoptGraphFile moves an already-written binary CSR file (produced by
+// a csr.Writer, so already fsynced) into the graphs/ directory as
+// graph id. The rename preserves the inode: any live memory mapping of
+// srcPath stays valid at the new path. An already-present destination
+// wins — graph ids are content-derived — and srcPath is removed.
+func (s *Store) AdoptGraphFile(id, srcPath string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") {
+		return "", fmt.Errorf("jobstore: bad graph id %q", id)
+	}
+	dst := s.GraphCSRPath(id)
+	if _, err := os.Stat(dst); err == nil {
+		os.Remove(srcPath)
+		return dst, nil
+	}
+	if err := os.Rename(srcPath, dst); err != nil {
+		return "", fmt.Errorf("jobstore: adopting graph file: %w", err)
+	}
+	syncDir(filepath.Join(s.dir, "graphs"))
+	return dst, nil
+}
+
+// RemoveLegacyGraph deletes graph id's legacy edge-list file, called
+// after a successful migration to the binary format. Missing files are
+// fine.
+func (s *Store) RemoveLegacyGraph(id string) {
+	os.Remove(filepath.Join(s.dir, "graphs", id+".edges"))
+}
+
+// ForEachGraphFile calls fn with every persisted graph's id, file path
+// and format, in sorted id order, preferring the binary .csr file when
+// a graph has both (mid-migration crash). legacy is true for edge-list
+// text files from stores written before the binary format existed; the
+// caller is expected to migrate those (read, SaveGraph via csr.Writer
+// + AdoptGraphFile, RemoveLegacyGraph). A fn error stops the walk.
+func (s *Store) ForEachGraphFile(fn func(id, path string, legacy bool) error) error {
+	dir := filepath.Join(s.dir, "graphs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("jobstore: listing graphs: %w", err)
+	}
+	type gfile struct {
+		path   string
+		legacy bool
+	}
+	files := make(map[string]gfile)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".csr"):
+			id := strings.TrimSuffix(name, ".csr")
+			files[id] = gfile{filepath.Join(dir, name), false}
+		case strings.HasSuffix(name, ".edges"):
+			id := strings.TrimSuffix(name, ".edges")
+			if _, have := files[id]; !have {
+				files[id] = gfile{filepath.Join(dir, name), true}
+			}
+		}
+	}
+	ids := make([]string, 0, len(files))
+	for id := range files {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		f := files[id]
+		if err := fn(id, f.path, f.legacy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

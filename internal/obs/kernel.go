@@ -105,6 +105,34 @@ func ObserveSymmetrize(ctx context.Context, method string, nnzIn, nnzOut int, pr
 	m.Histogram("symcluster_symmetrize_pruned_entries", "Product entries killed by the prune threshold per symmetrization.", SizeBuckets, "method").Observe(float64(pruned), method)
 }
 
+// ObserveCSRWrite records the on-disk size of one binary CSR file
+// written by the csr package (tmp + fsync + rename completed).
+func ObserveCSRWrite(ctx context.Context, bytes int64) {
+	if m := Meter(ctx); m != nil {
+		m.Histogram("symcluster_csr_write_bytes", "Binary CSR file bytes written per csr.Writer.Close.", SizeBuckets).Observe(float64(bytes))
+	}
+}
+
+// ObserveCSRMap records the size of one binary CSR file opened for
+// (zero-copy or fallback) reading.
+func ObserveCSRMap(ctx context.Context, bytes int64) {
+	if m := Meter(ctx); m != nil {
+		m.Histogram("symcluster_csr_mapped_bytes", "Binary CSR file bytes opened per csr.Open.", SizeBuckets).Observe(float64(bytes))
+	}
+}
+
+// ObserveCSRIngest records one finished streaming ingestion: how many
+// sorted runs spilled to disk and how many bytes flowed through the
+// k-way merge.
+func ObserveCSRIngest(ctx context.Context, spillRuns, mergedBytes int64) {
+	m := Meter(ctx)
+	if m == nil {
+		return
+	}
+	m.Histogram("symcluster_csr_spill_runs", "Spill runs written per streaming CSR ingestion.", CountBuckets).Observe(float64(spillRuns))
+	m.Histogram("symcluster_csr_merged_bytes", "Bytes streamed through the ingest k-way merge.", SizeBuckets).Observe(float64(mergedBytes))
+}
+
 // PruneStats accumulates how many candidate entries the sparse-product
 // kernels dropped below the prune threshold. The matrix kernels add
 // their per-call totals when a collector is installed in the context;

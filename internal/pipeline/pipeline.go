@@ -160,6 +160,14 @@ type Symmetrizer interface {
 	// CostModel upper-bounds the peak bytes Run may allocate on a
 	// graph with the given stats (admission control).
 	CostModel(gs GraphStats) int64
+	// OutOfCoreCost upper-bounds the heap-resident bytes of an
+	// out-of-core Run — the input, its transpose and the scaled factor
+	// matrices live in memory-mapped files, so only the (pruned)
+	// products and a few dense vectors stay resident. ok reports
+	// whether the method supports the out-of-core path at all; when
+	// false the estimate is CostModel and admission must not route the
+	// job out of core.
+	OutOfCoreCost(gs GraphStats) (est int64, ok bool)
 }
 
 // Algorithm identifies a clustering substrate. The public

@@ -21,6 +21,10 @@ type symEntry struct {
 	validate func(SymOptions) error
 	ckpt     bool
 	cost     func(GraphStats) int64
+	// oocCost, when set, marks the method out-of-core capable and
+	// bounds the heap-resident bytes of an out-of-core run (the mapped
+	// operands excluded). Nil means the method cannot run out of core.
+	oocCost func(GraphStats) int64
 }
 
 func (e *symEntry) Method() core.Method  { return e.method }
@@ -48,6 +52,13 @@ func (e *symEntry) Run(ctx context.Context, g *graph.Directed, opt SymOptions) (
 }
 
 func (e *symEntry) CostModel(gs GraphStats) int64 { return e.cost(gs) }
+
+func (e *symEntry) OutOfCoreCost(gs GraphStats) (int64, bool) {
+	if e.oocCost == nil {
+		return e.cost(gs), false
+	}
+	return e.oocCost(gs), true
+}
 
 // validateSymCommon checks the option ranges shared by every
 // symmetrization. Fields a method ignores are still range-checked, so
@@ -99,6 +110,20 @@ func minInt64(a, b int64) int64 {
 	return b
 }
 
+// oocProductSymBytes bounds the heap-resident bytes of an out-of-core
+// product symmetrization. The input, its transpose and the scaled
+// factors are memory-mapped files (file-backed pages the OS evicts, so
+// they do not count against the heap); what stays resident is the
+// external-sort buffer, the degree/discount vectors, and — dominating
+// everything — the pruned products themselves. An unpruned product is
+// as large out-of-core as in-core, which is why this is honest about
+// the worst case being no smaller than productSymBytes minus the
+// input-sized factor clones the in-core path would also hold.
+func oocProductSymBytes(gs GraphStats) int64 {
+	sortAndVectors := int64(64<<20) + 64*int64(gs.Nodes)
+	return sortAndVectors + csrBytes(gs.Nodes, 2*gs.Edges)
+}
+
 // symRegistry holds the four symmetrizations of the paper in its
 // plots' order. To add a fifth, append an entry here (and its kernel
 // in internal/core): every consumer — flag help, HTTP parsing,
@@ -112,6 +137,7 @@ var symRegistry = []Symmetrizer{
 		display:  "DegreeDiscounted",
 		describe: "degree-discounted bibliometric similarity, the paper's proposal (§3.4)",
 		cost:     productSymBytes,
+		oocCost:  oocProductSymBytes,
 	},
 	&symEntry{
 		method:   core.Bibliometric,
@@ -120,6 +146,7 @@ var symRegistry = []Symmetrizer{
 		display:  "Bibliometric",
 		describe: "U = AAᵀ + AᵀA, bibliographic coupling + co-citation (§3.3)",
 		cost:     productSymBytes,
+		oocCost:  oocProductSymBytes,
 	},
 	&symEntry{
 		method:   core.AAT,

@@ -4,41 +4,78 @@ import (
 	"fmt"
 	"net/http"
 
+	"symcluster/internal/csr"
 	"symcluster/internal/pipeline"
 )
 
 // Admission control: before a clustering request is queued, its working
-// set is estimated from the registered graph's degree profile, and
-// requests whose estimate exceeds Config.MaxJobBytes are rejected with
-// 413 instead of being allowed to exhaust the process.
+// set is estimated from the registered graph's degree profile. A
+// request whose in-core estimate fits Config.MaxJobBytes runs in core,
+// as before. One that does not is no longer rejected outright: when the
+// symmetrizer is out-of-core capable, the job is admitted on the
+// out-of-core path — the large operands become memory-mapped files and
+// only the (pruned) products stay resident — and 413 remains only for
+// the hard budgets no execution mode can evade: a method with no
+// out-of-core kernel, or a projected spill footprint over
+// Config.MaxSpillBytes.
 //
 // The byte estimates come from the pipeline registry's per-stage cost
-// models (Symmetrizer.CostModel + Clusterer.CostModel), so a newly
-// registered stage carries its admission bound with it and this file
-// never needs to know the catalog. Directed-input substrates skip the
-// symmetrizer's share. The models are deliberate upper bounds: an
-// admitted request is safe, and a rejected one reports the worst case
-// it could have reached.
+// models (Symmetrizer.CostModel / OutOfCoreCost + Clusterer.CostModel),
+// so a newly registered stage carries its admission bounds with it and
+// this file never needs to know the catalog. Directed-input substrates
+// skip the symmetrizer's share. The models are deliberate upper bounds:
+// an admitted request is safe, and a rejected one reports the worst
+// case it could have reached.
 
-// admit applies the byte budget to one validated request and returns
-// the working-set estimate, which the queue shedder charges against
-// Config.MaxQueueBytes while the job waits for a worker. sym is nil
-// when the substrate clusters the directed graph directly. A nil error
-// admits the job; otherwise the error is a 413 apiError carrying the
-// estimate so clients can see how far over budget the request was.
-func (s *Server) admit(rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, k int) (int64, error) {
-	est := pipeline.EstimateJobBytes(sym, cl, rg.stats.WithK(k))
+// spillFactor bounds an out-of-core run's scratch footprint in units of
+// the input's file size: the input copy (worst case, when the graph has
+// no on-disk file yet), its transpose, two scaled factors, their two
+// transposes — six input-sized files — plus external-sort runs for the
+// two transposes, which hold the same triplets again.
+const spillFactor = 8
+
+// admit applies the byte budgets to one validated request and returns
+// the working-set estimate (which the queue shedder charges against
+// Config.MaxQueueBytes while the job waits) and whether the run must go
+// out-of-core. sym is nil when the substrate clusters the directed
+// graph directly. A nil error admits the job; otherwise the error is a
+// 413 apiError carrying the estimate so clients can see how far over
+// budget the request was.
+func (s *Server) admit(rg *registeredGraph, sym pipeline.Symmetrizer, cl pipeline.Clusterer, k int) (int64, bool, error) {
+	gs := rg.stats.WithK(k)
+	est := pipeline.EstimateJobBytes(sym, cl, gs)
 	if s.cfg.MaxJobBytes <= 0 || est <= s.cfg.MaxJobBytes {
-		return est, nil
+		return est, false, nil
 	}
-	s.metrics.IncAdmissionRejected()
+
 	stage := cl.Name()
-	if sym != nil && !cl.AcceptsDirected() {
+	symShare := sym != nil && !cl.AcceptsDirected()
+	if symShare {
 		stage = sym.Name() + "+" + stage
 	}
-	return est, &apiError{
+
+	// Over the in-core budget. The symmetrizer is the stage the
+	// estimate blames (the substrate costs are input-sized); if it can
+	// run out-of-core, re-estimate with its resident bound.
+	if symShare {
+		if oocSym, capable := sym.OutOfCoreCost(gs); capable {
+			spill := spillFactor * csr.FileBytes(gs.Nodes, gs.Edges)
+			if s.cfg.MaxSpillBytes > 0 && spill > s.cfg.MaxSpillBytes {
+				s.metrics.IncAdmissionRejected()
+				return est, false, &apiError{
+					code: http.StatusRequestEntityTooLarge,
+					err: fmt.Errorf("projected out-of-core spill %d bytes exceeds disk budget %d bytes (%s over %d nodes / %d edges); raise -max-spill-mb or prune the graph",
+						spill, s.cfg.MaxSpillBytes, stage, rg.info.Nodes, rg.info.Edges),
+				}
+			}
+			return oocSym + cl.CostModel(gs), true, nil
+		}
+	}
+
+	s.metrics.IncAdmissionRejected()
+	return est, false, &apiError{
 		code: http.StatusRequestEntityTooLarge,
-		err: fmt.Errorf("estimated working set %d bytes exceeds job budget %d bytes (%s over %d nodes / %d edges); raise -max-job-mb or prune the graph",
+		err: fmt.Errorf("estimated working set %d bytes exceeds job budget %d bytes and %s cannot run out-of-core; raise -max-job-mb or prune the graph (%d nodes / %d edges)",
 			est, s.cfg.MaxJobBytes, stage, rg.info.Nodes, rg.info.Edges),
 	}
 }

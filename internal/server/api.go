@@ -96,6 +96,36 @@ type GraphInfo struct {
 	SymmetricFraction float64 `json:"symmetric_fraction"`
 }
 
+// UploadRef is the 201 response of POST /v1/graphs/uploads: a chunked
+// upload session for graphs too large for one request body.
+type UploadRef struct {
+	UploadID string `json:"upload_id"`
+	// Location is the URL chunks are POSTed to (and /finalize appended
+	// to when done).
+	Location string `json:"location"`
+}
+
+// UploadStatus is the 202 response of each chunk append.
+type UploadStatus struct {
+	UploadID string `json:"upload_id"`
+	// BytesReceived and Edges are running ingest totals across every
+	// chunk so far.
+	BytesReceived int64 `json:"bytes_received"`
+	Edges         int64 `json:"edges"`
+}
+
+// UploadResult is the 201 response of POST
+// /v1/graphs/uploads/{id}/finalize: the registered graph plus ingest
+// statistics (spill runs and merged bytes are nonzero only when the
+// upload exceeded the in-memory ingest buffer).
+type UploadResult struct {
+	Graph       GraphInfo `json:"graph"`
+	Edges       int64     `json:"edges"`
+	BytesIn     int64     `json:"bytes_in"`
+	SpillRuns   int64     `json:"spill_runs"`
+	MergedBytes int64     `json:"merged_bytes"`
+}
+
 // JobRef is the 202 response of an async POST /v1/cluster.
 type JobRef struct {
 	JobID string `json:"job_id"`

@@ -223,13 +223,15 @@ func TestInjectedErrorFailsRequestNotDaemon(t *testing.T) {
 }
 
 // TestAdmissionControlRejectsOversizedJobs checks the byte budget: a
-// tiny MaxJobBytes rejects every clustering request with 413 before it
-// reaches the pool, the rejection is counted, and a generous budget
-// admits the same request.
+// tiny MaxJobBytes rejects a clustering request whose symmetrizer has
+// no out-of-core kernel with 413 before it reaches the pool, the
+// rejection is counted, and a generous budget admits the same request.
+// An out-of-core capable method under the same tiny budget is no
+// longer rejected — it is admitted on the out-of-core path instead.
 func TestAdmissionControlRejectsOversizedJobs(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, MaxJobBytes: 64})
 	info := registerFigure1(t, ts)
-	req := ClusterRequest{GraphID: info.ID, Method: "bib", Algorithm: "mcl", Seed: 1}
+	req := ClusterRequest{GraphID: info.ID, Method: "rw", Algorithm: "mcl", Seed: 1}
 
 	resp := postJSON(t, ts.URL+"/v1/cluster", req)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
@@ -239,6 +241,9 @@ func TestAdmissionControlRejectsOversizedJobs(t *testing.T) {
 	if !strings.Contains(apiErr.Error, "max-job-mb") {
 		t.Fatalf("error %q does not tell the operator which knob to raise", apiErr.Error)
 	}
+	if !strings.Contains(apiErr.Error, "cannot run out-of-core") {
+		t.Fatalf("error %q does not explain why out-of-core did not save the job", apiErr.Error)
+	}
 	if s.pool.Busy() != 0 || s.pool.QueueDepth() != 0 {
 		t.Fatal("rejected job reached the pool")
 	}
@@ -246,10 +251,23 @@ func TestAdmissionControlRejectsOversizedJobs(t *testing.T) {
 		t.Fatalf("metrics missing admission rejection:\n%s", body)
 	}
 
-	// The same request under a generous budget runs normally.
+	// The same graph with an out-of-core capable symmetrization is
+	// admitted despite the tiny budget and runs to completion.
+	req.Method = "bib"
+	resp = postJSON(t, ts.URL+"/v1/cluster", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("out-of-core capable method status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if body := fetchMetrics(t, ts); !strings.Contains(body, "symclusterd_ooc_jobs_total 1") {
+		t.Fatalf("metrics missing out-of-core admission:\n%s", body)
+	}
+
+	// The rw request under a generous budget runs normally.
 	_, ts2 := newTestServer(t, Config{Workers: 1, MaxJobBytes: 1 << 30})
 	info2 := registerFigure1(t, ts2)
 	req.GraphID = info2.ID
+	req.Method = "rw"
 	resp = postJSON(t, ts2.URL+"/v1/cluster", req)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -287,11 +287,13 @@ type runOutcome struct {
 
 // preparedRun is a validated, admitted request ready to submit: the
 // closure that executes it, the admission byte estimate (charged
-// against the queue watermark while it waits), and whether any stage
+// against the queue watermark while it waits), whether admission
+// routed the symmetrization out-of-core, and whether any stage
 // supports kernel checkpointing (gates installing a job sink).
 type preparedRun struct {
 	runner         func(ctx context.Context) (*runOutcome, error)
 	est            int64
+	ooc            bool
 	checkpointable bool
 }
 
@@ -347,7 +349,7 @@ func (s *Server) prepareRun(req *ClusterRequest) (*preparedRun, error) {
 			return nil, badRequest("%v", err)
 		}
 	}
-	est, err := s.admit(rg, sym, cl, req.K)
+	est, ooc, err := s.admit(rg, sym, cl, req.K)
 	if err != nil {
 		return nil, err
 	}
@@ -355,9 +357,22 @@ func (s *Server) prepareRun(req *ClusterRequest) (*preparedRun, error) {
 	ckpt := cl.Checkpointable() || (sym != nil && sym.Checkpointable())
 	return &preparedRun{
 		runner: func(ctx context.Context) (*runOutcome, error) {
+			if ooc {
+				// Route the symmetrization out-of-core: operands become
+				// memory-mapped files under the spill dir; the result is
+				// byte-identical to the in-core path (same cache key).
+				s.oocTotal.Add(1)
+				ctx = symcluster.WithOutOfCore(ctx, symcluster.OutOfCoreConfig{
+					InputPath:        rg.csrPath, // empty: input written to scratch first
+					ScratchDir:       s.cfg.SpillDir,
+					MaxResidentBytes: s.cfg.MaxResidentBytes,
+					SpillMemBytes:    s.cfg.IngestMemBytes,
+				})
+			}
 			return s.runCluster(ctx, rg, sym, cl, opt, clOpt)
 		},
 		est:            est,
+		ooc:            ooc,
 		checkpointable: ckpt,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"symcluster/internal/csr"
 	"symcluster/internal/obs"
 )
 
@@ -109,6 +110,8 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 	// -data-dir) so dashboards and the crash-recovery tests can poll
 	// them unconditionally.
 	p("Clustering requests shed by the queued-byte watermark.", "counter", "symclusterd_shed_total", s.shedTotal.Load())
+	p("Clustering jobs admitted on the out-of-core path.", "counter", "symclusterd_ooc_jobs_total", s.oocTotal.Load())
+	p("Bytes of binary CSR files currently memory-mapped.", "gauge", "symclusterd_csr_mapped_bytes", csr.MappedBytes())
 	p("Summed working-set estimate of queued clustering jobs.", "gauge", "symclusterd_queue_bytes", s.queuedBytes.Load())
 	p("Kernel checkpoints journaled to the WAL.", "counter", "symclusterd_checkpoints_total", jobs.CheckpointSaves())
 	p("Interrupted jobs replayed as pending at startup.", "counter", "symclusterd_jobs_replayed_total", jobs.Replayed())

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/csr"
 	"symcluster/internal/jobstore"
 	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
@@ -57,6 +59,26 @@ type Config struct {
 	// replayed and re-enqueued. Empty (the default) keeps the job store
 	// purely in memory.
 	DataDir string
+	// SpillDir hosts out-of-core scratch: upload ingest state, external
+	// sort runs, and the intermediate files of out-of-core
+	// symmetrizations. Empty means the OS temp dir.
+	SpillDir string
+	// MaxSpillBytes is the hard disk budget for one out-of-core run's
+	// scratch files. Requests whose projected spill exceeds it are
+	// rejected with 413 — the only size rejection left for out-of-core
+	// capable methods. Zero or negative disables the check (the
+	// default).
+	MaxSpillBytes int64
+	// MaxResidentBytes bounds the heap-resident intermediates of each
+	// out-of-core symmetrization (the pruned products, which cannot
+	// live on disk); a run that exceeds it fails with
+	// core.ErrResidentBudget. Zero or negative disables the bound (the
+	// default).
+	MaxResidentBytes int64
+	// IngestMemBytes is the in-memory buffer of streaming graph
+	// ingestion and of out-of-core transposes; past it, sorted runs
+	// spill to SpillDir (default 64 MiB).
+	IngestMemBytes int64
 	// CheckpointIters is how often (in kernel iterations) a durable
 	// async job snapshots its kernel state to the WAL so a crash or
 	// drain resumes mid-run instead of starting over (default 25; only
@@ -97,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointIters <= 0 {
 		c.CheckpointIters = 25
 	}
+	if c.IngestMemBytes <= 0 {
+		c.IngestMemBytes = 64 << 20
+	}
 	if c.PreemptGrace <= 0 {
 		c.PreemptGrace = 5 * time.Second
 	}
@@ -128,10 +153,18 @@ type Server struct {
 	graphs   map[string]*registeredGraph
 	draining atomic.Bool
 
+	// uploadMu guards uploads, the in-flight chunked graph uploads
+	// (streaming ingest sessions keyed by upload id).
+	uploadMu  sync.Mutex
+	uploads   map[string]*uploadSession
+	uploadSeq atomic.Int64
+
 	// queuedBytes is the summed working-set estimate of submitted tasks
-	// not yet dequeued by a worker; shedTotal counts 429 rejections.
+	// not yet dequeued by a worker; shedTotal counts 429 rejections;
+	// oocTotal counts jobs admitted out-of-core.
 	queuedBytes atomic.Int64
 	shedTotal   atomic.Int64
+	oocTotal    atomic.Int64
 
 	// jobMu guards jobCancels, the cancel funcs of in-flight async jobs
 	// (keyed by job id) that Drain preempts; jobWG tracks their
@@ -146,11 +179,22 @@ type Server struct {
 // used in cache keys and the degree-profile stats the registry cost
 // models consume for admission control (computed once at registration,
 // O(nnz)).
+//
+// csrPath, when non-empty, is the graph's binary CSR file on disk —
+// the zero-copy input of out-of-core runs. mapped is non-nil when the
+// adjacency itself is a memory-mapped view of that file (chunked
+// uploads and graphs reloaded from a durable store): the heap never
+// held the matrix, and Server.Close unmaps it. ownDir, when set, is a
+// scratch directory owning the file (non-durable uploads) removed on
+// Close.
 type registeredGraph struct {
 	info        GraphInfo
 	graph       *symcluster.DirectedGraph
 	fingerprint uint64
 	stats       pipeline.GraphStats
+	csrPath     string
+	mapped      *csr.Mapped
+	ownDir      string
 }
 
 // New builds a ready-to-serve Server. With Config.DataDir set it opens
@@ -168,6 +212,7 @@ func New(cfg Config) (*Server, error) {
 		traces:     cfg.TraceSink,
 		startTime:  time.Now(),
 		jobCancels: make(map[string]context.CancelCauseFunc),
+		uploads:    make(map[string]*uploadSession),
 	}
 	if s.traces == nil {
 		s.traces = obs.NewTraceSink(nil, 64)
@@ -203,13 +248,44 @@ func New(cfg Config) (*Server, error) {
 }
 
 // loadGraphs re-registers every graph persisted under the data dir.
+// Binary .csr files are memory-mapped (the adjacency never touches the
+// heap); legacy edge-list files from stores written before the binary
+// format are migrated in place — parsed once, rewritten as .csr,
+// mapped, and the text file removed — so the next boot maps directly.
 func (s *Server) loadGraphs() error {
-	return s.store.ForEachGraph(func(id string, data []byte) error {
-		g, err := symcluster.ReadEdgeList(bytes.NewReader(data))
+	ctx := context.Background()
+	return s.store.ForEachGraphFile(func(id, path string, legacy bool) error {
+		if legacy {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("reloading graph %s: %w", id, err)
+			}
+			g, err := symcluster.ReadEdgeList(bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("reloading graph %s: %w", id, err)
+			}
+			dst := s.store.GraphCSRPath(id)
+			if err := csr.WriteMatrix(ctx, dst, g.Adj); err != nil {
+				// Migration is best-effort: the graph still serves from
+				// the heap, and the next boot retries the rewrite.
+				s.log().Error("migrating graph to binary CSR", "graph", id, "err", err)
+				s.addGraph(g, "", nil, "")
+				return nil
+			}
+			s.store.RemoveLegacyGraph(id)
+			s.log().Info("migrated graph to binary CSR", "graph", id)
+			path = dst
+		}
+		mp, err := csr.Open(ctx, path)
 		if err != nil {
 			return fmt.Errorf("reloading graph %s: %w", id, err)
 		}
-		s.registerGraph(g, false) // already on disk
+		g, err := symcluster.NewDirectedGraph(mp.View(), nil)
+		if err != nil {
+			mp.Close()
+			return fmt.Errorf("reloading graph %s: %w", id, err)
+		}
+		s.addGraph(g, path, mp, "")
 		return nil
 	})
 }
@@ -261,6 +337,10 @@ func (s *Server) routes() {
 	}
 	route("POST /v1/graphs", s.handleRegisterGraph)
 	route("GET /v1/graphs/{id}", s.handleGetGraph)
+	route("POST /v1/graphs/uploads", s.handleUploadCreate)
+	route("POST /v1/graphs/uploads/{id}", s.handleUploadAppend)
+	route("POST /v1/graphs/uploads/{id}/finalize", s.handleUploadFinalize)
+	route("DELETE /v1/graphs/uploads/{id}", s.handleUploadAbort)
 	route("POST /v1/cluster", s.handleCluster)
 	route("GET /v1/jobs/{id}", s.handleGetJob)
 	route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -317,8 +397,30 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close releases the WAL (durable mode only). Call after Drain.
+// Close releases the WAL (durable mode only), aborts in-flight uploads
+// and unmaps memory-mapped graphs. Call after Drain: the mappings are
+// unmapped here precisely because no job can still be reading them.
 func (s *Server) Close() error {
+	s.uploadMu.Lock()
+	for id, sess := range s.uploads {
+		sess.abort()
+		delete(s.uploads, id)
+	}
+	s.uploadMu.Unlock()
+
+	s.graphMu.Lock()
+	for _, rg := range s.graphs {
+		if rg.mapped != nil {
+			rg.mapped.Close()
+			rg.mapped = nil
+		}
+		if rg.ownDir != "" {
+			os.RemoveAll(rg.ownDir)
+			rg.ownDir = ""
+		}
+	}
+	s.graphMu.Unlock()
+
 	if s.store != nil {
 		return s.store.Close()
 	}
@@ -339,6 +441,24 @@ func (s *Server) RegisterGraph(g *symcluster.DirectedGraph) GraphInfo {
 }
 
 func (s *Server) registerGraph(g *symcluster.DirectedGraph, persist bool) GraphInfo {
+	var csrPath string
+	if persist && s.store != nil {
+		id := fmt.Sprintf("g-%016x", g.Fingerprint())
+		path := s.store.GraphCSRPath(id)
+		if err := csr.WriteMatrix(context.Background(), path, g.Adj); err != nil {
+			s.log().Error("persisting graph", "graph", id, "err", err)
+		} else {
+			csrPath = path
+		}
+	}
+	return s.addGraph(g, csrPath, nil, "")
+}
+
+// addGraph installs one graph in the registry under its content-derived
+// id. When the id is already registered the existing entry wins — the
+// content is identical by construction — and a newly mapped duplicate
+// is released (its scratch too) rather than swapped under running jobs.
+func (s *Server) addGraph(g *symcluster.DirectedGraph, csrPath string, mp *csr.Mapped, ownDir string) GraphInfo {
 	fp := g.Fingerprint()
 	id := fmt.Sprintf("g-%016x", fp)
 	info := GraphInfo{
@@ -348,21 +468,36 @@ func (s *Server) registerGraph(g *symcluster.DirectedGraph, persist bool) GraphI
 		SymmetricFraction: g.SymmetricLinkFraction(),
 	}
 	s.graphMu.Lock()
+	if prev, ok := s.graphs[id]; ok {
+		if prev.csrPath == "" && csrPath != "" {
+			// Same graph, but now it has a file: remember it so future
+			// jobs can run out-of-core against it.
+			prev.csrPath = csrPath
+			if prev.mapped == nil {
+				prev.mapped, prev.ownDir = mp, ownDir
+				mp, ownDir = nil, ""
+			}
+		}
+		info = prev.info
+		s.graphMu.Unlock()
+		if mp != nil {
+			mp.Close()
+		}
+		if ownDir != "" {
+			os.RemoveAll(ownDir)
+		}
+		return info
+	}
 	s.graphs[id] = &registeredGraph{
 		info:        info,
 		graph:       g,
 		fingerprint: fp,
 		stats:       pipeline.StatsFor(g),
+		csrPath:     csrPath,
+		mapped:      mp,
+		ownDir:      ownDir,
 	}
 	s.graphMu.Unlock()
-	if persist && s.store != nil {
-		var buf bytes.Buffer
-		if err := symcluster.WriteEdgeList(&buf, g); err == nil {
-			if err := s.store.SaveGraph(id, buf.Bytes()); err != nil {
-				s.log().Error("persisting graph", "graph", id, "err", err)
-			}
-		}
-	}
 	return info
 }
 

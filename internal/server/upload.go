@@ -1,0 +1,257 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	symcluster "symcluster"
+	"symcluster/internal/csr"
+)
+
+// Chunked graph upload: graphs too large for one POST /v1/graphs body
+// arrive as a sequence of requests against an upload session. Each
+// append streams its chunk into a bounded-memory ingester (parsed edges
+// spill to sorted runs under the spill dir once the buffer fills), so
+// the daemon's resident cost of an upload is the ingest buffer, not the
+// graph. Finalize merges the runs into a binary CSR file, memory-maps
+// it, and registers the graph without the adjacency ever living on the
+// heap — the natural companion of out-of-core clustering, which reads
+// the same file.
+//
+//	POST   /v1/graphs/uploads               → 201 UploadRef
+//	POST   /v1/graphs/uploads/{id}          → 202 UploadStatus (chunk in body)
+//	POST   /v1/graphs/uploads/{id}/finalize → 201 UploadResult
+//	DELETE /v1/graphs/uploads/{id}          → 204
+//
+// Chunks may split lines at any byte offset. A parse error poisons the
+// session (the offending line is reported); it must be aborted and
+// restarted. Sessions are single-writer: concurrent appends to the same
+// session serialize, order among them unspecified.
+
+// uploadSession is one in-flight chunked upload.
+type uploadSession struct {
+	id      string
+	dir     string // scratch dir owning ingest state and the finalized file
+	created time.Time
+
+	mu     sync.Mutex
+	ing    *csr.Ingester
+	failed error // first ingest error; poisons the session
+	done   bool
+}
+
+// abort releases the session's ingest state and scratch. Idempotent;
+// callers hold no locks.
+func (sess *uploadSession) abort() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.done = true
+	sess.ing.Abort()
+	if sess.dir != "" {
+		os.RemoveAll(sess.dir)
+		sess.dir = ""
+	}
+}
+
+// handleUploadCreate opens a session: POST /v1/graphs/uploads.
+func (s *Server) handleUploadCreate(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	dir, err := os.MkdirTemp(s.cfg.SpillDir, "symclusterd-upload-*")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("creating upload scratch: %w", err))
+		return
+	}
+	ing, err := csr.NewIngester(dir, s.cfg.IngestMemBytes)
+	if err != nil {
+		os.RemoveAll(dir)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("creating ingester: %w", err))
+		return
+	}
+	sess := &uploadSession{
+		id:      "u-" + strconv.FormatInt(s.uploadSeq.Add(1), 10),
+		dir:     dir,
+		created: time.Now(),
+		ing:     ing,
+	}
+	s.uploadMu.Lock()
+	s.uploads[sess.id] = sess
+	s.uploadMu.Unlock()
+	writeJSON(w, http.StatusCreated, UploadRef{
+		UploadID: sess.id,
+		Location: "/v1/graphs/uploads/" + sess.id,
+	})
+}
+
+// lookupUpload fetches a session by id.
+func (s *Server) lookupUpload(id string) (*uploadSession, bool) {
+	s.uploadMu.Lock()
+	defer s.uploadMu.Unlock()
+	sess, ok := s.uploads[id]
+	return sess, ok
+}
+
+// dropUpload removes a session from the registry (it may already be
+// gone — finalize and abort race benignly).
+func (s *Server) dropUpload(id string) {
+	s.uploadMu.Lock()
+	delete(s.uploads, id)
+	s.uploadMu.Unlock()
+}
+
+// handleUploadAppend streams one chunk into the session:
+// POST /v1/graphs/uploads/{id} with the raw edge-list bytes as body.
+func (s *Server) handleUploadAppend(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupUpload(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown upload %q", r.PathValue("id")))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.usableLocked(); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	buf := make([]byte, 256*1024)
+	for {
+		n, rerr := r.Body.Read(buf)
+		if n > 0 {
+			if aerr := sess.ing.Append(buf[:n]); aerr != nil {
+				// A malformed line poisons the whole session: spill runs
+				// already hold edges in arrival order, so there is no way
+				// to un-append. The client aborts and restarts.
+				sess.failed = aerr
+				code := http.StatusBadRequest
+				if errors.Is(aerr, symcluster.ErrInputTooLarge) {
+					code = http.StatusRequestEntityTooLarge
+				}
+				writeError(w, code, fmt.Errorf("ingesting chunk: %w", aerr))
+				return
+			}
+		}
+		if rerr != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(rerr, &mbe) {
+				// The chunk overflowed the per-request body cap. Nothing
+				// is lost — the bytes read so far were ingested — but the
+				// client must resend the remainder as further chunks.
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("chunk exceeds per-request cap (%d bytes); split it and continue", s.cfg.MaxBodyBytes))
+				return
+			}
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading chunk: %w", rerr))
+			return
+		}
+	}
+	bytesIn, edges := sess.ing.Stats()
+	writeJSON(w, http.StatusAccepted, UploadStatus{
+		UploadID:      sess.id,
+		BytesReceived: bytesIn,
+		Edges:         edges,
+	})
+}
+
+// usableLocked reports whether the session can accept more input.
+func (sess *uploadSession) usableLocked() error {
+	if sess.done {
+		return &apiError{code: http.StatusConflict, err: fmt.Errorf("upload %s already finalized or aborted", sess.id)}
+	}
+	if sess.failed != nil {
+		return &apiError{code: http.StatusConflict,
+			err: fmt.Errorf("upload %s failed earlier (%v); abort and restart", sess.id, sess.failed)}
+	}
+	return nil
+}
+
+// handleUploadFinalize merges the session into a binary CSR file, maps
+// it and registers the graph: POST /v1/graphs/uploads/{id}/finalize.
+func (s *Server) handleUploadFinalize(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupUpload(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown upload %q", r.PathValue("id")))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.usableLocked(); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	sess.done = true
+	s.dropUpload(sess.id)
+
+	fail := func(code int, err error) {
+		os.RemoveAll(sess.dir)
+		sess.dir = ""
+		writeError(w, code, err)
+	}
+	ctx := r.Context()
+	dst := filepath.Join(sess.dir, "graph.csr")
+	info, err := sess.ing.Finalize(ctx, dst)
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("finalizing upload: %w", err))
+		return
+	}
+	mp, err := csr.Open(ctx, dst)
+	if err != nil {
+		fail(http.StatusInternalServerError, fmt.Errorf("mapping ingested graph: %w", err))
+		return
+	}
+	g, err := symcluster.NewDirectedGraph(mp.View(), nil)
+	if err != nil {
+		mp.Close()
+		fail(http.StatusInternalServerError, fmt.Errorf("wrapping ingested graph: %w", err))
+		return
+	}
+
+	csrPath, ownDir := dst, sess.dir
+	if s.store != nil {
+		id := fmt.Sprintf("g-%016x", g.Fingerprint())
+		// The rename preserves the inode, so the live mapping stays
+		// valid at the new path (and even when a content-identical file
+		// already sits there and ours is unlinked instead).
+		adopted, aerr := s.store.AdoptGraphFile(id, dst)
+		if aerr != nil {
+			s.log().Error("persisting uploaded graph", "graph", id, "err", aerr)
+		} else {
+			csrPath = adopted
+			os.RemoveAll(sess.dir)
+			sess.dir = ""
+			ownDir = ""
+		}
+	}
+	ginfo := s.addGraph(g, csrPath, mp, ownDir)
+	if ownDir != "" {
+		sess.dir = "" // ownership moved to the graph registry
+	}
+	writeJSON(w, http.StatusCreated, UploadResult{
+		Graph:       ginfo,
+		Edges:       info.Edges,
+		BytesIn:     info.BytesIn,
+		SpillRuns:   info.SpillRuns,
+		MergedBytes: info.MergedBytes,
+	})
+}
+
+// handleUploadAbort discards a session: DELETE /v1/graphs/uploads/{id}.
+// Aborting an unknown session is a 204 no-op, so retrying is safe.
+func (s *Server) handleUploadAbort(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.lookupUpload(r.PathValue("id")); ok {
+		s.dropUpload(sess.id)
+		sess.abort()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -160,6 +160,23 @@ func SymmetrizeCtx(ctx context.Context, g *DirectedGraph, method SymMethod, opt 
 	return core.SymmetrizeCtx(ctx, g, method, opt)
 }
 
+// OutOfCoreConfig configures the out-of-core symmetrization path: the
+// large operands (input, transpose, scaled factors) live in
+// memory-mapped binary CSR files under a scratch directory instead of
+// the heap, with results byte-identical to the in-core path. See
+// internal/csr and DESIGN.md §13.
+type OutOfCoreConfig = core.OutOfCoreConfig
+
+// ErrResidentBudget marks an out-of-core run aborted because its
+// heap-resident intermediates exceeded OutOfCoreConfig.MaxResidentBytes.
+var ErrResidentBudget = core.ErrResidentBudget
+
+// WithOutOfCore returns a context that routes SymmetrizeCtx (and every
+// pipeline entry point built on it) through the out-of-core path.
+func WithOutOfCore(ctx context.Context, cfg OutOfCoreConfig) context.Context {
+	return core.WithOutOfCore(ctx, cfg)
+}
+
 // CalibrateThreshold estimates a degree-discounted prune threshold that
 // yields approximately the target average degree in the symmetrized
 // graph, following §5.3.1's sampling recipe.
