@@ -13,9 +13,9 @@ FUZZTIME ?= 5s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X symcluster/internal/obs.Version=$(VERSION)
 
-.PHONY: check fmt vet lint build test race fuzz crash test-long bench
+.PHONY: check fmt vet lint build test race fuzz crash cluster test-long bench
 
-check: fmt vet lint build test race crash fuzz
+check: fmt vet lint build test race crash cluster fuzz
 	@echo "check: ok"
 
 fmt:
@@ -61,6 +61,15 @@ lint:
 			"(map files through csr.Open so lifetimes, CRC validation," \
 			"and the mapped-bytes gauge stay correct, DESIGN.md §13):"; \
 		echo "$$out"; exit 1; fi
+	@out="$$(grep -rn --include='*.go' -E '\bhttp\.Client\{' \
+		./internal/server ./internal/cluster \
+		| grep -v '^\./internal/cluster/client\.go:' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: raw http.Client in internal/server or internal/cluster" \
+			"(peer traffic must go through cluster.NewClient so every hop" \
+			"gets per-attempt timeouts, capped jittered backoff, and" \
+			"Retry-After handling, DESIGN.md §14):"; \
+		echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -78,6 +87,14 @@ race:
 # the recovery path is exercised on every pre-merge check.
 crash:
 	$(GO) test -race -short -run 'TestCrashRecovery' ./internal/server
+
+# The two-node failover e2e: boot a pair of daemons sharing a durable
+# root, SIGKILL whichever node owns the running job, and require the
+# survivor to detect the death, adopt the dead node's WAL, and finish
+# the job from its last checkpoint with the same answer an
+# uninterrupted run gives (DESIGN.md §14).
+cluster:
+	$(GO) test -race -run 'TestClusterFailoverResume' ./internal/server
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph

@@ -8,6 +8,7 @@
 //	           [-k N] [-alpha A] [-beta B] [-threshold T] [-inflation R]
 //	           [-truth truth.txt] [-seed N] [-stats] [-json]
 //	           [-out-of-core] [-spill-dir DIR]
+//	           [-server URL] [-retries N] [-retry-max-wait D]
 //
 // Method and algorithm names come from the pipeline registry: any
 // canonical name or registered alias ("degree-discounted",
@@ -20,6 +21,13 @@
 // stderr. With -json, stdout carries a single JSON document in the
 // same schema as symclusterd's POST /v1/cluster response instead of
 // one cluster id per line.
+//
+// With -server, the run executes on a symclusterd instance instead of
+// in-process: the edge list is registered and a synchronous clustering
+// request submitted, with 429/503 shed responses retried up to
+// -retries times honoring Retry-After under a capped jittered backoff
+// (-retry-max-wait). Flags that need the graph locally (-local,
+// -stats, -metisout, -out-of-core, -truth, -trace-log) are rejected.
 //
 // Observability: -json output embeds the run's span tree
 // (trace.spans), -trace-log appends the same tree as one JSON line to
@@ -35,12 +43,15 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"symcluster"
+	"symcluster/internal/cluster"
 	"symcluster/internal/graph"
 	"symcluster/internal/obs"
 	"symcluster/internal/pipeline"
@@ -74,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit the symclusterd POST /v1/cluster response schema on stdout")
 	outOfCore := fs.Bool("out-of-core", false, "symmetrize out-of-core: large operands live in memory-mapped files under -spill-dir (bit-identical results, bounded resident memory)")
 	spillDir := fs.String("spill-dir", "", "scratch directory for -out-of-core intermediates and spill runs; empty uses the OS temp dir")
+	serverURL := fs.String("server", "", "run the clustering on this symclusterd instance (http://host:port) instead of locally")
+	retries := fs.Int("retries", 4, "with -server: total attempts when the daemon sheds with 429/503")
+	retryMaxWait := fs.Duration("retry-max-wait", 15*time.Second, "with -server: cap on backoff (and honored Retry-After) between attempts")
 	logLevel := fs.String("log-level", "warn", "minimum log level for structured logs: debug, info, warn, error")
 	traceLog := fs.String("trace-log", "", "append the run's JSON span tree to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -90,6 +104,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "symcluster: -in FILE is required")
 		fs.Usage()
 		return 2
+	}
+
+	if *serverURL != "" {
+		// Server mode ships the graph and the request to a symclusterd
+		// instance; everything that needs the graph in this process is
+		// incompatible with it.
+		for flagName, set := range map[string]bool{
+			"-local":       *localSeed >= 0,
+			"-stats":       *stats,
+			"-metisout":    *metisOut != "",
+			"-out-of-core": *outOfCore,
+			"-truth":       *truthPath != "",
+			"-trace-log":   *traceLog != "",
+		} {
+			if set {
+				fmt.Fprintf(stderr, "symcluster: %s runs locally and cannot be combined with -server\n", flagName)
+				return 2
+			}
+		}
+		req := server.ClusterRequest{
+			GraphID:   "", // filled after registration
+			Method:    *method,
+			Algorithm: *algo,
+			K:         *k,
+			Alpha:     alpha,
+			Beta:      beta,
+			Threshold: *threshold,
+			Inflation: *inflation,
+			Seed:      *seed,
+		}
+		return runServer(stdout, stderr, *serverURL, *in, req, *retries, *retryMaxWait, *jsonOut)
 	}
 
 	if *cpuProfile != "" {
@@ -284,6 +329,101 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	return 0
+}
+
+// runServer executes the clustering on a symclusterd instance: the
+// edge list is registered via POST /v1/graphs, then a synchronous
+// POST /v1/cluster runs it. Both calls go through the cluster
+// package's retrying client, so a daemon shedding load (429 with
+// Retry-After, or 503 while a cluster reroutes around a dead shard) is
+// retried with capped jittered backoff instead of failing the run.
+func runServer(stdout, stderr io.Writer, baseURL, in string, req server.ClusterRequest, retries int, maxWait time.Duration, jsonOut bool) int {
+	baseURL = strings.TrimRight(baseURL, "/")
+	cli := cluster.NewClient(cluster.ClientConfig{
+		MaxAttempts: retries,
+		MaxWait:     maxWait,
+		OnRetry: func(reason string) {
+			fmt.Fprintf(stderr, "symcluster: retrying: %s\n", reason)
+		},
+	})
+	ctx := context.Background()
+
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "text/plain")
+	body, status, err := doJSON(cli, ctx, baseURL+"/v1/graphs", hdr, data)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var ginfo server.GraphInfo
+	if err := json.Unmarshal(body, &ginfo); err != nil {
+		return fail(stderr, fmt.Errorf("decoding graph registration (status %d): %w", status, err))
+	}
+	fmt.Fprintf(stderr, "symcluster: registered %s (%d nodes, %d edges) on %s\n",
+		ginfo.ID, ginfo.Nodes, ginfo.Edges, baseURL)
+
+	req.GraphID = ginfo.ID
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	hdr = http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	body, _, err = doJSON(cli, ctx, baseURL+"/v1/cluster", hdr, reqBody)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	w := bufio.NewWriter(stdout)
+	if jsonOut {
+		// Relay the daemon's response verbatim: it is already the schema
+		// -json promises.
+		w.Write(body)
+		if len(body) == 0 || body[len(body)-1] != '\n' {
+			w.WriteByte('\n')
+		}
+	} else {
+		var resp server.ClusterResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fail(stderr, fmt.Errorf("decoding cluster response: %w", err))
+		}
+		fmt.Fprintf(stderr, "symcluster: clustered (%s) into %d clusters in %.2fs\n",
+			resp.Algorithm, resp.K, resp.ClusterMillis/1000)
+		for _, c := range resp.Assign {
+			fmt.Fprintln(w, c)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+// doJSON POSTs body and returns the response body, turning any
+// non-2xx final answer (including a 429/503 that survived every
+// retry) into an error carrying the daemon's message.
+func doJSON(cli *cluster.Client, ctx context.Context, url string, hdr http.Header, body []byte) ([]byte, int, error) {
+	resp, err := cli.Do(ctx, http.MethodPost, url, hdr, body)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eresp server.ErrorResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &eresp) == nil && eresp.Error != "" {
+			msg = eresp.Error
+		}
+		return nil, resp.StatusCode, fmt.Errorf("%s answered %d: %s", url, resp.StatusCode, msg)
+	}
+	return raw, resp.StatusCode, nil
 }
 
 // writeSideOutputs handles -stats and -metisout for a symmetrized

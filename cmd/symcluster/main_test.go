@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -223,6 +224,122 @@ func TestCLIObservabilityOutputs(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// newSheddingFrontend fronts a real single-node daemon with a wrapper
+// that sheds (429 + Retry-After) the first reject requests, then
+// passes everything through. Returns the frontend URL and a counter of
+// total hits.
+func newSheddingFrontend(t *testing.T, reject int32, status int) (string, *atomic.Int32) {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= reject {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(status)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL, &hits
+}
+
+// TestCLIServerModeRetriesShedding drives -server against a daemon
+// that sheds the first requests with 429 + Retry-After: the CLI must
+// back off, retry, and still deliver the same clustering a direct
+// local run produces.
+func TestCLIServerModeRetriesShedding(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "figure1.edges")
+	if err := os.WriteFile(edgePath, []byte(figure1Edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, hits := newSheddingFrontend(t, 2, http.StatusTooManyRequests)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", edgePath, "-method", "dd", "-algo", "mcl", "-seed", "7",
+		"-server", url, "-retries", "4", "-retry-max-wait", "50ms", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	var remote server.ClusterResponse
+	if err := json.Unmarshal(stdout.Bytes(), &remote); err != nil {
+		t.Fatalf("decoding -json output %q: %v", stdout.String(), err)
+	}
+	local := runCLI(t, "-in", edgePath, "-method", "dd", "-algo", "mcl", "-seed", "7", "-json")
+	if remote.K != local.K || !reflect.DeepEqual(remote.Assign, local.Assign) {
+		t.Fatalf("server run k=%d %v != local run k=%d %v",
+			remote.K, remote.Assign, local.K, local.Assign)
+	}
+	// The shed attempts were really retried, and the user was told.
+	if n := hits.Load(); n < 4 {
+		t.Fatalf("daemon saw only %d requests; shedding was not retried", n)
+	}
+	if !strings.Contains(stderr.String(), "retrying") {
+		t.Fatalf("stderr %q does not report the retries", stderr.String())
+	}
+}
+
+// A daemon that never stops shedding exhausts the retry budget and the
+// CLI surfaces the daemon's final status instead of spinning forever.
+func TestCLIServerModeExhaustsRetries(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "figure1.edges")
+	if err := os.WriteFile(edgePath, []byte(figure1Edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, hits := newSheddingFrontend(t, 1<<30, http.StatusServiceUnavailable)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", edgePath, "-method", "dd", "-algo", "mcl",
+		"-server", url, "-retries", "3", "-retry-max-wait", "20ms", "-json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "503") {
+		t.Fatalf("stderr %q does not carry the final status", stderr.String())
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("daemon saw %d requests, want exactly -retries=3", n)
+	}
+}
+
+// Local-only flags are usage errors in server mode: the daemon cannot
+// honor them, so the CLI refuses rather than silently ignoring.
+func TestCLIServerModeRejectsLocalFlags(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "figure1.edges")
+	if err := os.WriteFile(edgePath, []byte(figure1Edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-local"},
+		{"-stats"},
+		{"-metisout", filepath.Join(dir, "parts")},
+		{"-out-of-core"},
+		{"-trace-log", filepath.Join(dir, "trace.jsonl")},
+	} {
+		args := append([]string{"-in", edgePath, "-server", "http://127.0.0.1:1"}, extra...)
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2\nstderr: %s", extra, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), strings.TrimPrefix(extra[0], "-")) {
+			t.Fatalf("%v: stderr %q does not name the offending flag", extra, stderr.String())
 		}
 	}
 }

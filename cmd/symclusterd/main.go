@@ -10,8 +10,12 @@
 //	symclusterd [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
 //	            [-max-body-mb MB] [-max-job-mb MB] [-max-queue-mb MB]
 //	            [-spill-dir DIR] [-max-spill-mb MB] [-max-resident-mb MB]
-//	            [-timeout D] [-job-ttl D] [-drain-timeout D]
+//	            [-timeout D] [-job-ttl D] [-upload-ttl D] [-drain-timeout D]
 //	            [-data-dir DIR] [-checkpoint-iters N]
+//	            [-peers URL,URL,...] [-self URL]
+//	            [-probe-interval D] [-peer-fail-threshold N]
+//	            [-peer-recover-threshold N] [-proxy-attempts N]
+//	            [-proxy-timeout D] [-proxy-max-wait D]
 //	            [-preload graph.edges]
 //	            [-log-format json|text] [-log-level LEVEL]
 //	            [-trace-log FILE] [-trace-ring N] [-debug-addr ADDR]
@@ -38,6 +42,18 @@
 // /v1/cluster accepts an Idempotency-Key header; retried submissions
 // with the same key return the original job.
 //
+// Clustering (see README.md "Running a cluster" and DESIGN.md §14):
+// -peers lists the full static membership (http://host:port, optional
+// *weight suffix), -self names this node's own entry. Every node is
+// both a shard and a router: graphs live on the peer that consistent
+// hashing assigns their fingerprint, and requests landing elsewhere
+// are forwarded one hop with retries and backoff. An active health
+// checker (-probe-interval, -peer-fail-threshold,
+// -peer-recover-threshold) shifts ownership away from dead peers; when
+// the cluster shares a durable -data-dir, the elected survivor adopts
+// a dead peer's WAL and resumes its jobs from their checkpoints.
+// -upload-ttl reaps chunked-upload sessions abandoned by their client.
+//
 // Observability (see README.md "Observability" and DESIGN.md §11):
 // logs are structured (JSON by default; -log-format text for humans),
 // every clustering run is traced and exported to the -trace-log JSONL
@@ -61,10 +77,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	symcluster "symcluster"
+	"symcluster/internal/cluster"
 	"symcluster/internal/faultinject"
 	"symcluster/internal/obs"
 	"symcluster/internal/server"
@@ -85,6 +103,15 @@ func main() {
 	checkpointIters := flag.Int("checkpoint-iters", 25, "kernel iterations between WAL checkpoints of durable async jobs")
 	timeout := flag.Duration("timeout", 60*time.Second, "synchronous request deadline")
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results; 0 keeps them until evicted")
+	uploadTTL := flag.Duration("upload-ttl", 15*time.Minute, "idle timeout for chunked-upload sessions; 0 keeps abandoned sessions forever")
+	peers := flag.String("peers", "", "comma-separated cluster peer URLs (http://host:port, optional *weight), this node included; empty runs single-node")
+	self := flag.String("self", "", "this node's entry in -peers, as a URL or bare host:port (required with -peers)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
+	peerFail := flag.Int("peer-fail-threshold", 3, "consecutive failed probes before a peer is declared down")
+	peerRecover := flag.Int("peer-recover-threshold", 2, "consecutive successful probes before a down peer recovers")
+	proxyAttempts := flag.Int("proxy-attempts", 4, "total tries per request forwarded to a peer")
+	proxyTimeout := flag.Duration("proxy-timeout", 10*time.Second, "deadline per forwarding attempt")
+	proxyMaxWait := flag.Duration("proxy-max-wait", 5*time.Second, "cap on backoff (and honored Retry-After) between forwarding attempts")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	preload := flag.String("preload", "", "edge-list file to register at startup (logs its graph id)")
 	logFormat := flag.String("log-format", "json", "log output format: json or text")
@@ -129,6 +156,36 @@ func main() {
 		sink = obs.NewTraceSink(nil, *traceRing)
 	}
 
+	var clusterCfg *server.ClusterConfig
+	if *peers != "" {
+		peerList, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fatal("parsing -peers", "err", err)
+		}
+		selfName := *self
+		if strings.Contains(selfName, "://") {
+			p, err := cluster.ParsePeer(selfName)
+			if err != nil {
+				fatal("parsing -self", "err", err)
+			}
+			selfName = p.Name
+		}
+		if selfName == "" {
+			fatal("-peers requires -self")
+		}
+		clusterCfg = &server.ClusterConfig{
+			Self:             selfName,
+			Peers:            peerList,
+			ProbeInterval:    *probeInterval,
+			FailThreshold:    *peerFail,
+			RecoverThreshold: *peerRecover,
+			ProxyAttempts:    *proxyAttempts,
+			ProxyTimeout:     *proxyTimeout,
+			ProxyMaxWait:     *proxyMaxWait,
+		}
+		logger.Info("cluster mode", "self", selfName, "peers", len(peerList))
+	}
+
 	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -141,8 +198,10 @@ func main() {
 		MaxResidentBytes: *maxResidentMB << 20,
 		RequestTimeout:   *timeout,
 		JobTTL:           *jobTTL,
+		UploadTTL:        *uploadTTL,
 		DataDir:          *dataDir,
 		CheckpointIters:  *checkpointIters,
+		Cluster:          clusterCfg,
 		Logger:           logger,
 		TraceSink:        sink,
 	})

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"symcluster/internal/faultinject"
+)
+
+// Client is the retrying HTTP client every inter-node hop (and the
+// CLI's -server mode) goes through. Each request gets up to
+// MaxAttempts tries; an attempt fails on a transport error or a
+// shedding status (429 Too Many Requests / 503 Service Unavailable).
+// Between attempts the client sleeps the server's Retry-After when one
+// was given, otherwise capped exponential backoff with full jitter —
+// both bounded by MaxWait so a misbehaving server can't park a caller.
+//
+// This file is the only place in the module allowed to construct an
+// http.Client (enforced by `make lint`): a raw client has no attempt
+// timeout, no backoff and no Retry-After handling, which is exactly
+// how cascading retry storms start.
+type Client struct {
+	cfg  ClientConfig
+	http *http.Client
+}
+
+// ClientConfig sizes a Client. Zero values select the defaults noted
+// on each field.
+type ClientConfig struct {
+	// MaxAttempts bounds total tries per request (default 4; 1 disables
+	// retries).
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt (default 10s).
+	AttemptTimeout time.Duration
+	// BaseWait is the first backoff step (default 100ms); attempt n
+	// waits ~BaseWait×2ⁿ, jittered.
+	BaseWait time.Duration
+	// MaxWait caps every wait, whether from backoff or a server's
+	// Retry-After (default 5s).
+	MaxWait time.Duration
+	// OnRetry, when non-nil, is called once per retry sleep with the
+	// reason ("status 503", "connection refused", …) — the metrics
+	// hook behind symclusterd_proxy_retries_total.
+	OnRetry func(reason string)
+	// Transport overrides the HTTP transport (tests; nil means
+	// http.DefaultTransport).
+	Transport http.RoundTripper
+	// Jitter overrides the backoff jitter for deterministic tests; nil
+	// selects full jitter in [d/2, d].
+	Jitter func(d time.Duration) time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.BaseWait <= 0 {
+		c.BaseWait = 100 * time.Millisecond
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 5 * time.Second
+	}
+	if c.Jitter == nil {
+		c.Jitter = func(d time.Duration) time.Duration {
+			if d <= 1 {
+				return d
+			}
+			return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		}
+	}
+	return c
+}
+
+// NewClient builds a retrying client.
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg: cfg,
+		// The per-attempt deadline is applied via context (so a slow
+		// body read counts against it too); the http.Client itself has
+		// no global timeout, which would cap the whole retry sequence.
+		http: &http.Client{Transport: cfg.Transport},
+	}
+}
+
+// Retryable reports whether an HTTP status is worth retrying: the two
+// shedding codes whose contract is "come back later".
+func Retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// RetryAfter parses a response's Retry-After header (delta-seconds or
+// HTTP-date). ok is false when the header is absent or malformed.
+func RetryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// Do sends one buffered-body request with retries. header may be nil;
+// it is copied into every attempt. The returned response's body must
+// be closed by the caller; a non-2xx final response is returned, not
+// turned into an error, so callers can relay status and body.
+func (c *Client) Do(ctx context.Context, method, url string, header http.Header, body []byte) (*http.Response, error) {
+	return c.DoStream(ctx, method, url, header, func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(body)), nil
+	}, int64(len(body)))
+}
+
+// DoStream is Do for bodies too large to buffer: open is called once
+// per attempt to produce a fresh body reader (e.g. re-opening a file),
+// so retries never resend a half-consumed stream. contentLength < 0
+// means unknown.
+func (c *Client) DoStream(ctx context.Context, method, url string, header http.Header, open func() (io.ReadCloser, error), contentLength int64) (*http.Response, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.attempt(ctx, method, url, header, open, contentLength)
+		if err == nil && !Retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		last := attempt >= c.cfg.MaxAttempts
+		var wait time.Duration
+		var reason string
+		if err != nil {
+			if ctx.Err() != nil {
+				// The caller's context expired (or was canceled): the
+				// request is dead no matter how many attempts remain.
+				return nil, err
+			}
+			lastErr = err
+			if last {
+				return nil, fmt.Errorf("cluster: %s %s failed after %d attempts: %w", method, url, attempt, lastErr)
+			}
+			wait = c.backoff(attempt)
+			reason = fmt.Sprintf("attempt error: %v", err)
+		} else {
+			if last {
+				return resp, nil // relay the final 429/503 to the caller
+			}
+			if ra, ok := RetryAfter(resp); ok {
+				if ra > c.cfg.MaxWait {
+					ra = c.cfg.MaxWait
+				}
+				wait = ra
+			} else {
+				wait = c.backoff(attempt)
+			}
+			reason = "status " + strconv.Itoa(resp.StatusCode)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		if c.cfg.OnRetry != nil {
+			c.cfg.OnRetry(reason)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// backoff returns the jittered, capped exponential wait before retrying
+// after the given 1-based attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseWait
+	for i := 1; i < attempt && d < c.cfg.MaxWait; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxWait {
+		d = c.cfg.MaxWait
+	}
+	return c.cfg.Jitter(d)
+}
+
+// cancelBody ties an attempt's context cancel to the response body's
+// lifetime, so the per-attempt deadline covers the body read without
+// killing it early.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// attempt performs one try under the per-attempt timeout. The
+// "proxy.forward" fault site fires first, so chaos tests can fail or
+// slow individual attempts deterministically.
+func (c *Client) attempt(ctx context.Context, method, url string, header http.Header, open func() (io.ReadCloser, error), contentLength int64) (*http.Response, error) {
+	if err := faultinject.Fire("proxy.forward"); err != nil {
+		return nil, err
+	}
+	body, err := open()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening request body: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	req, err := http.NewRequestWithContext(actx, method, url, body)
+	if err != nil {
+		body.Close()
+		cancel()
+		return nil, err
+	}
+	req.ContentLength = contentLength
+	for k, vs := range header {
+		req.Header[k] = append([]string(nil), vs...)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}

@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("http://a:8080, http://b:8081*3 ,https://c:9000")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("got %d peers, want 3", len(peers))
+	}
+	want := []Peer{
+		{Name: "a:8080", URL: "http://a:8080", Weight: 1},
+		{Name: "b:8081", URL: "http://b:8081", Weight: 3},
+		{Name: "c:9000", URL: "https://c:9000", Weight: 1},
+	}
+	for i, w := range want {
+		if *peers[i] != w {
+			t.Errorf("peer %d = %+v, want %+v", i, *peers[i], w)
+		}
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		" , ",
+		"ftp://a:1",
+		"http://a:1*0",
+		"http://a:1*x",
+		"http://a:1/path",
+		"http://",
+		"http://a:1,http://a:1",
+	} {
+		if _, err := ParsePeers(spec); err == nil {
+			t.Errorf("ParsePeers(%q): expected error", spec)
+		}
+	}
+}
+
+func testRing(t *testing.T, names ...string) *Ring {
+	t.Helper()
+	var peers []*Peer
+	for _, n := range names {
+		p, err := ParsePeer("http://" + n)
+		if err != nil {
+			t.Fatalf("ParsePeer(%q): %v", n, err)
+		}
+		peers = append(peers, p)
+	}
+	return NewRing(peers, 0)
+}
+
+func TestRingDeterministicAndStable(t *testing.T) {
+	r1 := testRing(t, "a:1", "b:2", "c:3")
+	r2 := testRing(t, "c:3", "a:1", "b:2") // order must not matter
+	for fp := uint64(0); fp < 500; fp++ {
+		o1, ok1 := r1.Owner(fp, nil)
+		o2, ok2 := r2.Owner(fp, nil)
+		if !ok1 || !ok2 {
+			t.Fatalf("fp %d: no owner (ok1=%v ok2=%v)", fp, ok1, ok2)
+		}
+		if o1.Name != o2.Name {
+			t.Fatalf("fp %d: owner depends on peer order: %s vs %s", fp, o1.Name, o2.Name)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := testRing(t, "a:1", "b:2", "c:3", "d:4")
+	counts := map[string]int{}
+	const n = 20000
+	for fp := uint64(0); fp < n; fp++ {
+		o, _ := r.Owner(fp, nil)
+		counts[o.Name]++
+	}
+	for name, c := range counts {
+		share := float64(c) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("peer %s owns %.1f%% of keys — ring badly unbalanced", name, share*100)
+		}
+	}
+}
+
+func TestRingWeights(t *testing.T) {
+	peers := []*Peer{
+		{Name: "small", URL: "http://s:1", Weight: 1},
+		{Name: "big", URL: "http://b:1", Weight: 4},
+	}
+	r := NewRing(peers, 0)
+	counts := map[string]int{}
+	const n = 20000
+	for fp := uint64(0); fp < n; fp++ {
+		o, _ := r.Owner(fp, nil)
+		counts[o.Name]++
+	}
+	if counts["big"] < 2*counts["small"] {
+		t.Errorf("weight-4 peer owns %d keys vs weight-1 peer's %d — want at least 2x", counts["big"], counts["small"])
+	}
+}
+
+func TestRingFailover(t *testing.T) {
+	r := testRing(t, "a:1", "b:2", "c:3")
+	down := map[string]bool{}
+	healthy := func(name string) bool { return !down[name] }
+
+	// With b down, every key b owned must move to another peer, and
+	// keys a/c owned must stay put.
+	var moved, kept int
+	for fp := uint64(0); fp < 2000; fp++ {
+		before, _ := r.Owner(fp, nil)
+		down["b:2"] = true
+		after, ok := r.Owner(fp, healthy)
+		down["b:2"] = false
+		if !ok {
+			t.Fatalf("fp %d: no owner with one peer down", fp)
+		}
+		if after.Name == "b:2" {
+			t.Fatalf("fp %d: unhealthy peer still owns key", fp)
+		}
+		if before.Name == "b:2" {
+			moved++
+		} else if before.Name != after.Name {
+			t.Fatalf("fp %d: key moved from healthy peer %s to %s", fp, before.Name, after.Name)
+		} else {
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+
+	// All peers down: no owner.
+	allDown := func(string) bool { return false }
+	if _, ok := r.Owner(42, allDown); ok {
+		t.Fatal("Owner returned a peer with every peer unhealthy")
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	if d, ok := RetryAfter(mk("3")); !ok || d != 3*time.Second {
+		t.Errorf("seconds: got %v %v", d, ok)
+	}
+	if _, ok := RetryAfter(mk("")); ok {
+		t.Error("absent header parsed as present")
+	}
+	if _, ok := RetryAfter(mk("soon")); ok {
+		t.Error("garbage header parsed as present")
+	}
+	if _, ok := RetryAfter(mk("-2")); ok {
+		t.Error("negative seconds accepted")
+	}
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := RetryAfter(mk(future)); !ok || d <= 5*time.Second || d > 11*time.Second {
+		t.Errorf("http-date: got %v %v", d, ok)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d, ok := RetryAfter(mk(past)); !ok || d != 0 {
+		t.Errorf("past http-date: got %v %v, want 0 true", d, ok)
+	}
+}
+
+func noJitter(d time.Duration) time.Duration { return d }
+
+func TestClientRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	var retries []string
+	c := NewClient(ClientConfig{
+		MaxAttempts: 4,
+		BaseWait:    time.Millisecond,
+		MaxWait:     5 * time.Millisecond,
+		Jitter:      noJitter,
+		OnRetry:     func(reason string) { retries = append(retries, reason) },
+	})
+	resp, err := c.Do(context.Background(), http.MethodGet, srv.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(retries) != 2 || retries[0] != "status 503" {
+		t.Fatalf("OnRetry calls = %v", retries)
+	}
+}
+
+func TestClientRelaysFinalShedStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c := NewClient(ClientConfig{MaxAttempts: 2, BaseWait: time.Millisecond, MaxWait: time.Millisecond, Jitter: noJitter})
+	resp, err := c.Do(context.Background(), http.MethodGet, srv.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the relayed 429", resp.StatusCode)
+	}
+}
+
+func TestClientReopensBodyPerAttempt(t *testing.T) {
+	var got []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, 32)
+		n, _ := r.Body.Read(b)
+		got = append(got, string(b[:n]))
+		if len(got) < 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(ClientConfig{MaxAttempts: 3, BaseWait: time.Millisecond, MaxWait: time.Millisecond, Jitter: noJitter})
+	resp, err := c.Do(context.Background(), http.MethodPost, srv.URL, nil, []byte("payload"))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if len(got) != 2 || got[0] != "payload" || got[1] != "payload" {
+		t.Fatalf("bodies seen by server = %q, want full payload on every attempt", got)
+	}
+}
+
+func TestClientTransportErrorExhaustsAttempts(t *testing.T) {
+	// A listener that is closed immediately: connection refused.
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	var retries atomic.Int32
+	c := NewClient(ClientConfig{
+		MaxAttempts: 3,
+		BaseWait:    time.Millisecond,
+		MaxWait:     time.Millisecond,
+		Jitter:      noJitter,
+		OnRetry:     func(string) { retries.Add(1) },
+	})
+	_, err := c.Do(context.Background(), http.MethodGet, url, nil, nil)
+	if err == nil {
+		t.Fatal("expected error against closed listener")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error %q does not mention exhausted attempts", err)
+	}
+	if retries.Load() != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2", retries.Load())
+	}
+}
+
+func TestClientHonorsCallerContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewClient(ClientConfig{MaxAttempts: 5, MaxWait: time.Minute, Jitter: noJitter})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("Do ignored caller context for %v", time.Since(start))
+	}
+}
+
+func TestClientBackoffCapped(t *testing.T) {
+	c := NewClient(ClientConfig{BaseWait: 10 * time.Millisecond, MaxWait: 40 * time.Millisecond, Jitter: noJitter})
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := c.backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func healthPeers(t *testing.T, urls ...string) []*Peer {
+	t.Helper()
+	var peers []*Peer
+	for _, u := range urls {
+		p, err := ParsePeer(u)
+		if err != nil {
+			t.Fatalf("ParsePeer(%q): %v", u, err)
+		}
+		peers = append(peers, p)
+	}
+	return peers
+}
+
+func TestHealthThresholdsAndRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer srv.Close()
+
+	peers := healthPeers(t, srv.URL)
+	var transitions []string
+	h := NewHealth(peers, HealthConfig{
+		FailThreshold:    2,
+		RecoverThreshold: 2,
+		ProbeTimeout:     time.Second,
+		OnChange: func(p *Peer, up bool) {
+			transitions = append(transitions, fmt.Sprintf("%s=%v", p.Name, up))
+		},
+	})
+	p := peers[0]
+
+	if !h.Healthy(p.Name) {
+		t.Fatal("peer should start up")
+	}
+	healthy.Store(false)
+	h.Probe(p)
+	if !h.Healthy(p.Name) {
+		t.Fatal("one failure must not cross FailThreshold=2")
+	}
+	h.Probe(p)
+	if h.Healthy(p.Name) {
+		t.Fatal("two consecutive failures should mark peer down")
+	}
+	if h.State(p.Name) != "down" {
+		t.Fatalf("state = %q, want down", h.State(p.Name))
+	}
+
+	healthy.Store(true)
+	h.Probe(p)
+	if h.Healthy(p.Name) {
+		t.Fatal("one success must not cross RecoverThreshold=2")
+	}
+	if h.State(p.Name) != "half-open" {
+		t.Fatalf("state = %q, want half-open", h.State(p.Name))
+	}
+	h.Probe(p)
+	if !h.Healthy(p.Name) {
+		t.Fatal("two consecutive successes should recover the peer")
+	}
+
+	want := []string{p.Name + "=false", p.Name + "=true"}
+	if len(transitions) != 2 || transitions[0] != want[0] || transitions[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+func TestHealthSelfAlwaysUp(t *testing.T) {
+	peers := healthPeers(t, "http://self:1", "http://other:1")
+	h := NewHealth(peers, HealthConfig{Self: "self:1", FailThreshold: 1})
+	h.Probe(peers[1]) // other:1 is unreachable → down after 1 failure
+	if h.Healthy("other:1") {
+		t.Fatal("unreachable peer should be down")
+	}
+	if !h.Healthy("self:1") || h.State("self:1") != "up" {
+		t.Fatal("self must always be healthy")
+	}
+}
+
+func TestHealthInterruptedFlapDoesNotRecover(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	peers := healthPeers(t, srv.URL)
+	h := NewHealth(peers, HealthConfig{FailThreshold: 1, RecoverThreshold: 2, ProbeTimeout: time.Second})
+	p := peers[0]
+
+	h.Probe(p) // down
+	healthy.Store(true)
+	h.Probe(p) // 1 success
+	healthy.Store(false)
+	h.Probe(p) // failure resets the success streak
+	healthy.Store(true)
+	h.Probe(p) // 1 success again — still short of threshold
+	if h.Healthy(p.Name) {
+		t.Fatal("interrupted success streak must not recover the peer")
+	}
+	h.Probe(p)
+	if !h.Healthy(p.Name) {
+		t.Fatal("two uninterrupted successes should recover the peer")
+	}
+}
+
+func TestHealthStartStop(t *testing.T) {
+	var probes atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	h := NewHealth(healthPeers(t, srv.URL), HealthConfig{Interval: 5 * time.Millisecond, ProbeTimeout: time.Second})
+	h.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for probes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+	if probes.Load() < 2 {
+		t.Fatalf("probe loop made %d probes, want >= 2", probes.Load())
+	}
+	h.Stop() // idempotent
+}

@@ -256,6 +256,34 @@ func WriteMatrix(ctx context.Context, path string, m *matrix.CSR) error {
 	return w.Close(ctx)
 }
 
+// SaveStream writes r verbatim to dir/name, fsyncing the file before
+// returning its path. It performs no validation — callers receiving a
+// CSR file from elsewhere (the cluster's internal graph push) are
+// expected to Open the result, which verifies every section CRC,
+// before trusting a byte of it.
+func SaveStream(dir, name string, r io.Reader) (string, error) {
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("csr: %w", err)
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", fmt.Errorf("csr: saving stream: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", fmt.Errorf("csr: syncing stream: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", fmt.Errorf("csr: %w", err)
+	}
+	return path, nil
+}
+
 // syncDir fsyncs a directory so a just-renamed file is durable. Errors
 // are ignored: the rename already happened and some filesystems refuse
 // directory fsync.

@@ -32,6 +32,7 @@ package jobstore
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -560,6 +561,54 @@ func (s *Store) AdoptGraphFile(id, srcPath string) (string, error) {
 	}
 	if err := os.Rename(srcPath, dst); err != nil {
 		return "", fmt.Errorf("jobstore: adopting graph file: %w", err)
+	}
+	syncDir(filepath.Join(s.dir, "graphs"))
+	return dst, nil
+}
+
+// ImportGraphFile brings a binary CSR file from another store into
+// this one's graphs/ directory as graph id, leaving the source in
+// place (the exporting store may come back and still own it — WAL
+// adoption imports from a dead peer's directory). Same-filesystem
+// imports hardlink (no copy, shared immutable content); across
+// filesystems the file is copied through a tmp name and renamed so a
+// crash never leaves a half-written graph under its final name. An
+// already-present destination wins — graph ids are content-derived.
+func (s *Store) ImportGraphFile(id, srcPath string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") {
+		return "", fmt.Errorf("jobstore: bad graph id %q", id)
+	}
+	dst := s.GraphCSRPath(id)
+	if _, err := os.Stat(dst); err == nil {
+		return dst, nil
+	}
+	if err := os.Link(srcPath, dst); err == nil {
+		syncDir(filepath.Join(s.dir, "graphs"))
+		return dst, nil
+	}
+	src, err := os.Open(srcPath)
+	if err != nil {
+		return "", fmt.Errorf("jobstore: importing graph file: %w", err)
+	}
+	defer src.Close()
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "graphs"), id+".import-*")
+	if err != nil {
+		return "", fmt.Errorf("jobstore: importing graph file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, src); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("jobstore: copying graph file: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("jobstore: syncing imported graph: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("jobstore: closing imported graph: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", fmt.Errorf("jobstore: importing graph file: %w", err)
 	}
 	syncDir(filepath.Join(s.dir, "graphs"))
 	return dst, nil

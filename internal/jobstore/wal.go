@@ -19,6 +19,21 @@ import (
 // header overruns the file or whose checksum fails; everything from
 // that point on is a torn tail and is truncated away, which is safe
 // because frames are only ever appended.
+//
+// Corruption contract — halt, never skip. A bad frame ANYWHERE in the
+// file, mid-file bit rot included, ends replay at that frame: the
+// intact prefix is kept, everything from the bad frame on is
+// discarded and truncated so appends restart at a known-good
+// boundary. Skipping past a bad frame is deliberately not attempted:
+// with length-prefixed framing a corrupt length header poisons every
+// downstream frame boundary, so "the next frame" cannot be trusted —
+// and resynchronizing heuristically could resurrect stale records
+// (e.g. re-running a finished job, or reviving a canceled one that a
+// cluster peer already adopted). Losing the suffix is always safe:
+// the store's records are monotonic per job, so a truncated suffix
+// can only roll a job back to an earlier state, which replay already
+// handles (Running replays as Pending). TestReplayHaltsAtMidFileCorruption
+// asserts this contract.
 
 const (
 	frameHeaderBytes = 8

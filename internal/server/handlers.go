@@ -54,15 +54,11 @@ func httpStatus(err error) int {
 	}
 }
 
-// handleRegisterGraph ingests an edge list (the CLI interchange format:
-// "src dst [weight]" lines) and registers it under a content-derived
-// id. A JSON body {"edges": "..."} is accepted as an alternative for
-// clients that prefer a single content type.
-func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
-		return
-	}
+// readGraphBody parses a POST /v1/graphs body into a graph: either the
+// raw edge list (the CLI interchange format: "src dst [weight]" lines)
+// or, for clients that prefer a single content type, a JSON body
+// {"edges": "..."}.
+func readGraphBody(r *http.Request) (*symcluster.DirectedGraph, error) {
 	var g *symcluster.DirectedGraph
 	var err error
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
@@ -70,27 +66,44 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 			Edges string `json:"edges"`
 		}
 		if derr := json.NewDecoder(r.Body).Decode(&body); derr != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", derr))
-			return
+			return nil, fmt.Errorf("decoding body: %w", derr)
 		}
 		g, err = symcluster.ReadEdgeList(strings.NewReader(body.Edges))
 	} else {
 		g, err = symcluster.ReadEdgeList(r.Body)
 	}
 	if err != nil {
-		code := http.StatusBadRequest
-		var mbe *http.MaxBytesError
-		// Size rejections — the request body cap (either content type)
-		// or a single line overflowing the parser buffer — are 413, not
-		// 400: the input may be well-formed, it just does not fit.
-		if errors.As(err, &mbe) || errors.Is(err, symcluster.ErrInputTooLarge) {
-			code = http.StatusRequestEntityTooLarge
-		}
-		writeError(w, code, fmt.Errorf("parsing edge list: %w", err))
-		return
+		return nil, fmt.Errorf("parsing edge list: %w", err)
 	}
 	if g.N() == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("empty graph"))
+		return nil, errors.New("empty graph")
+	}
+	return g, nil
+}
+
+// graphBodyStatus maps a readGraphBody error to a status code. Size
+// rejections — the request body cap (either content type) or a single
+// line overflowing the parser buffer — are 413, not 400: the input may
+// be well-formed, it just does not fit.
+func graphBodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || errors.Is(err, symcluster.ErrInputTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// handleRegisterGraph ingests an edge list and registers it under a
+// content-derived id (cluster mode routes through the coordinator's
+// variant instead, which ships the graph to its owning shard).
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	g, err := readGraphBody(r)
+	if err != nil {
+		writeError(w, graphBodyStatus(err), err)
 		return
 	}
 	info := s.RegisterGraph(g)
@@ -212,9 +225,12 @@ func (s *Server) startAsyncJob(w http.ResponseWriter, r *http.Request, req *Clus
 			return
 		}
 	}
+	// In cluster mode the id is qualified with this node's name, so any
+	// peer can route polls for it back here.
+	id := s.qualifyID(job.ID)
 	writeJSON(w, http.StatusAccepted, JobRef{
-		JobID:    job.ID,
-		Location: "/v1/jobs/" + job.ID,
+		JobID:    id,
+		Location: "/v1/jobs/" + id,
 	})
 }
 
@@ -501,7 +517,9 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	info := job.Info()
+	info.JobID = s.qualifyID(info.JobID)
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleJobTrace serves GET /v1/jobs/{id}/trace: the span tree of a
@@ -520,28 +538,38 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Trace)
 }
 
-// healthzBody is the GET /healthz response.
+// healthzBody is the GET /healthz response. Peers is present only in
+// cluster mode: this node's probe verdict ("up", "down", "half-open")
+// for every member, itself included.
 type healthzBody struct {
-	Status        string  `json:"status"`
-	Version       string  `json:"version"`
-	GoVersion     string  `json:"go_version"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string            `json:"status"`
+	Version       string            `json:"version"`
+	GoVersion     string            `json:"go_version"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Self          string            `json:"self,omitempty"`
+	Peers         map[string]string `json:"peers,omitempty"`
 }
 
 // handleHealthz reports liveness plus build identity and uptime;
-// during drain it turns 503 so load balancers stop routing to this
+// during drain it turns 503 so load balancers — and peer health
+// checkers, which shift ownership away — stop routing to this
 // instance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, healthzBody{
+	body := healthzBody{
 		Status:        "ok",
 		Version:       obs.Version,
 		GoVersion:     runtime.Version(),
 		UptimeSeconds: time.Since(s.startTime).Seconds(),
-	})
+	}
+	if s.coord != nil {
+		body.Self = s.coord.self.Name
+		body.Peers = s.coord.peerStates()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves the text exposition.

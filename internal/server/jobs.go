@@ -247,6 +247,64 @@ func (s *JobStore) Create(idemKey string, request json.RawMessage) (job *Job, ex
 	return j, false, nil
 }
 
+// CreateAdopted registers a pending job taken over from a dead peer's
+// WAL: like Create, but the job starts with the checkpoints carried
+// over from the dead record (persisted in the local journal too, so an
+// adopter restart resumes from the same point). The idempotency key —
+// derived from (dead peer, original id) by the caller — makes
+// re-adoption a lookup instead of a duplicate.
+func (s *JobStore) CreateAdopted(idemKey string, request json.RawMessage, ckpts map[string]jobstore.Checkpoint) (job *Job, existing bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if id, ok := s.byKey[idemKey]; ok {
+		if j, ok := s.jobs[id]; ok {
+			return j, true, nil
+		}
+	}
+	j := &Job{
+		ID:             fmt.Sprintf("job-%06d", s.seq+1),
+		State:          JobPending,
+		IdempotencyKey: idemKey,
+		Request:        request,
+		Created:        s.now(),
+		Checkpoints:    ckpts,
+	}
+	if s.st != nil {
+		rec := &jobstore.JobRecord{
+			ID:             j.ID,
+			State:          jobstore.Pending,
+			IdempotencyKey: idemKey,
+			Request:        request,
+			Created:        j.Created,
+			Checkpoints:    ckpts,
+		}
+		if err := s.st.Create(rec); err != nil {
+			return nil, false, err
+		}
+	}
+	s.seq++
+	s.jobs[j.ID] = j
+	s.byKey[idemKey] = j.ID
+	return j, false, nil
+}
+
+// LookupByKey resolves an idempotency key to the id of the job it
+// created, if any — the coordinator's route from a dead peer's job id
+// to the local adopted copy.
+func (s *JobStore) LookupByKey(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byKey[key]
+	if !ok {
+		return "", false
+	}
+	if _, live := s.jobs[id]; !live {
+		return "", false
+	}
+	return id, true
+}
+
 // Start transitions a job to running, journal-first: a failed append
 // leaves the job pending so disk never lags memory.
 func (s *JobStore) Start(id string) error {

@@ -28,6 +28,14 @@ type Metrics struct {
 	stageSeconds     *obs.Histogram
 	cacheObjectBytes *obs.Histogram
 	admissionReject  *obs.Counter
+
+	// Cluster-mode families. Registered unconditionally (zero in
+	// single-node mode) so dashboards need not branch on deployment.
+	proxyRequests  *obs.Counter
+	proxyRetries   *obs.Counter
+	peerUnhealthy  *obs.Gauge
+	jobsAdopted    *obs.Counter
+	uploadsExpired *obs.Counter
 }
 
 // NewMetrics returns a registry with the daemon families registered.
@@ -45,10 +53,24 @@ func NewMetrics() *Metrics {
 			"Resident size of symmetrized graphs inserted into the cache.", obs.SizeBuckets),
 		admissionReject: reg.Counter("symclusterd_admission_rejected_total",
 			"Clustering requests rejected by the working-set byte budget."),
+		proxyRequests: reg.Counter("symclusterd_proxy_requests_total",
+			"Requests forwarded to the owning peer, by peer and relayed status code.", "peer", "code"),
+		proxyRetries: reg.Counter("symclusterd_proxy_retries_total",
+			"Proxy forward attempts retried after a transport error or shed status."),
+		peerUnhealthy: reg.Gauge("symclusterd_peer_unhealthy",
+			"1 while the named peer is considered down by this node's health checker.", "peer"),
+		jobsAdopted: reg.Counter("symclusterd_jobs_adopted_total",
+			"Pending jobs adopted from a dead peer's WAL and resumed locally."),
+		uploadsExpired: reg.Counter("symclusterd_upload_sessions_expired_total",
+			"Chunked-upload sessions reaped after exceeding the idle TTL."),
 	}
-	// Touch the counter so the family appears in the exposition before
-	// the first rejection (tests and dashboards rely on the zero line).
+	// Touch the unlabeled counters so the families appear in the
+	// exposition before the first event (tests and dashboards rely on
+	// the zero line).
 	m.admissionReject.Add(0)
+	m.proxyRetries.Add(0)
+	m.jobsAdopted.Add(0)
+	m.uploadsExpired.Add(0)
 	reg.Gauge("symclusterd_build_info",
 		"Build metadata; the value is always 1.", "version", "go_version").
 		Set(1, obs.Version, runtime.Version())
@@ -80,6 +102,32 @@ func (m *Metrics) ObserveCacheObject(bytes int64) {
 // IncAdmissionRejected counts one clustering request rejected by the
 // working-set byte budget.
 func (m *Metrics) IncAdmissionRejected() { m.admissionReject.Inc() }
+
+// IncProxyRequest counts one request forwarded to a peer, labeled by
+// the peer name and the status code relayed to the client (502 when the
+// forward itself failed).
+func (m *Metrics) IncProxyRequest(peer string, code int) {
+	m.proxyRequests.Inc(peer, strconv.Itoa(code))
+}
+
+// IncProxyRetry counts one retried proxy forward attempt.
+func (m *Metrics) IncProxyRetry() { m.proxyRetries.Inc() }
+
+// SetPeerUnhealthy flips the named peer's unhealthy gauge.
+func (m *Metrics) SetPeerUnhealthy(peer string, down bool) {
+	v := 0.0
+	if down {
+		v = 1.0
+	}
+	m.peerUnhealthy.Set(v, peer)
+}
+
+// IncJobsAdopted counts one pending job adopted from a dead peer's WAL.
+func (m *Metrics) IncJobsAdopted() { m.jobsAdopted.Inc() }
+
+// IncUploadExpired counts one chunked-upload session reaped by the idle
+// TTL sweeper.
+func (m *Metrics) IncUploadExpired() { m.uploadsExpired.Inc() }
 
 // WriteTo renders the exposition: the registry families first, then the
 // live gauges read from the server's cache, pool, job store and WAL at

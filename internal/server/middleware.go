@@ -43,6 +43,19 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // request context (obs.Log), and installs the metrics registry so
 // kernel hooks underneath record into /metrics.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(route, true, h)
+}
+
+// instrumentUncapped is instrument without the request body cap. It
+// exists for the one route that legitimately carries graph-sized
+// bodies: the peer-to-peer CSR push, whose payload was already
+// admitted (chunk by capped chunk, or under the cap) on the node now
+// forwarding it.
+func (s *Server) instrumentUncapped(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumented(route, false, h)
+}
+
+func (s *Server) instrumented(route string, capped bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqID := "r-" + strconv.FormatInt(requestSeq.Add(1), 10)
@@ -51,7 +64,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		ctx = obs.WithMeter(ctx, s.metrics.Registry())
 		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w}
-		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+		if capped && r.Body != nil && s.cfg.MaxBodyBytes > 0 {
 			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 		}
 		defer func() {

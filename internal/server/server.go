@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,7 +59,25 @@ type Config struct {
 	// persisted alongside it, and on startup interrupted jobs are
 	// replayed and re-enqueued. Empty (the default) keeps the job store
 	// purely in memory.
+	//
+	// In cluster mode (Cluster non-nil) DataDir is the SHARED data
+	// root: each node journals under DataDir/node-<name>, and when a
+	// peer dies its ring-elected successor adopts that subdirectory's
+	// WAL to finish the peer's jobs from their checkpoints (DESIGN.md
+	// §14).
 	DataDir string
+	// UploadTTL expires chunked-upload sessions idle longer than this:
+	// their scratch (ingest buffers, spill runs) is reaped and further
+	// requests against the session 404. Zero or negative disables
+	// expiry (the default; cmd/symclusterd sets 15m).
+	UploadTTL time.Duration
+	// Cluster, when non-nil, runs this node as a member of a static
+	// multi-node cluster: graphs are sharded over the peers by
+	// fingerprint, mis-routed requests are forwarded to their owner,
+	// peers are health-checked, and (with DataDir) dead peers' jobs
+	// fail over. Nil (the default) is single-node mode, which behaves
+	// exactly as if the cluster code did not exist.
+	Cluster *ClusterConfig
 	// SpillDir hosts out-of-core scratch: upload ingest state, external
 	// sort runs, and the intermediate files of out-of-core
 	// symmetrizations. Empty means the OS temp dir.
@@ -153,6 +172,15 @@ type Server struct {
 	graphs   map[string]*registeredGraph
 	draining atomic.Bool
 
+	// coord is the cluster coordinator (routing, health, failover);
+	// nil in single-node mode, and every cluster behavior is gated on
+	// it so single-node semantics are untouched.
+	coord *coordinator
+	// stop ends background loops (the upload-TTL sweeper); closeOnce
+	// makes Close idempotent about it.
+	stop      chan struct{}
+	closeOnce sync.Once
+
 	// uploadMu guards uploads, the in-flight chunked graph uploads
 	// (streaming ingest sessions keyed by upload id).
 	uploadMu  sync.Mutex
@@ -213,14 +241,30 @@ func New(cfg Config) (*Server, error) {
 		startTime:  time.Now(),
 		jobCancels: make(map[string]context.CancelCauseFunc),
 		uploads:    make(map[string]*uploadSession),
+		stop:       make(chan struct{}),
 	}
 	if s.traces == nil {
 		s.traces = obs.NewTraceSink(nil, 64)
 	}
 	s.graphs = make(map[string]*registeredGraph)
 
-	if cfg.DataDir != "" {
-		st, err := jobstore.Open(cfg.DataDir)
+	if cfg.Cluster != nil {
+		coord, err := newCoordinator(s, cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+	}
+
+	// In cluster mode the configured DataDir is the shared root; each
+	// node keeps its own WAL and graphs under a per-node subdirectory,
+	// which is exactly what a surviving peer adopts on failover.
+	dataDir := cfg.DataDir
+	if s.coord != nil && dataDir != "" {
+		dataDir = filepath.Join(dataDir, nodeDirName(s.coord.self.Name))
+	}
+	if dataDir != "" {
+		st, err := jobstore.Open(dataDir)
 		if err != nil {
 			return nil, fmt.Errorf("opening job store: %w", err)
 		}
@@ -243,6 +287,12 @@ func New(cfg Config) (*Server, error) {
 		if pending := s.jobs.PendingJobs(); len(pending) > 0 {
 			go s.resumeJobs(pending)
 		}
+	}
+	if cfg.UploadTTL > 0 {
+		go s.sweepUploads()
+	}
+	if s.coord != nil {
+		s.coord.health.Start()
 	}
 	return s, nil
 }
@@ -335,15 +385,33 @@ func (s *Server) routes() {
 	route := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	route("POST /v1/graphs", s.handleRegisterGraph)
-	route("GET /v1/graphs/{id}", s.handleGetGraph)
-	route("POST /v1/graphs/uploads", s.handleUploadCreate)
-	route("POST /v1/graphs/uploads/{id}", s.handleUploadAppend)
-	route("POST /v1/graphs/uploads/{id}/finalize", s.handleUploadFinalize)
-	route("DELETE /v1/graphs/uploads/{id}", s.handleUploadAbort)
-	route("POST /v1/cluster", s.handleCluster)
-	route("GET /v1/jobs/{id}", s.handleGetJob)
-	route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	if c := s.coord; c != nil {
+		// Cluster mode: the public surface is identical, but requests
+		// whose state lives on another shard take one forwarded hop to
+		// it (see proxy.go). The internal CSR route receives whole
+		// graphs from peers, so it is exempt from the request body cap.
+		route("POST /v1/graphs", c.handleRegisterGraph)
+		route("GET /v1/graphs/{id}", c.wrapGraphGet(s.handleGetGraph))
+		route("POST /v1/graphs/uploads", s.handleUploadCreate)
+		route("POST /v1/graphs/uploads/{id}", c.wrapUpload(s.handleUploadAppend))
+		route("POST /v1/graphs/uploads/{id}/finalize", c.wrapUpload(s.handleUploadFinalize))
+		route("DELETE /v1/graphs/uploads/{id}", c.wrapUpload(s.handleUploadAbort))
+		route("POST /v1/cluster", c.wrapCluster(s.handleCluster))
+		route("GET /v1/jobs/{id}", c.wrapJob(s.handleGetJob))
+		route("GET /v1/jobs/{id}/trace", c.wrapJob(s.handleJobTrace))
+		s.mux.HandleFunc("PUT "+internalCSRPath,
+			s.instrumentUncapped("PUT "+internalCSRPath, c.handleInternalGraphCSR))
+	} else {
+		route("POST /v1/graphs", s.handleRegisterGraph)
+		route("GET /v1/graphs/{id}", s.handleGetGraph)
+		route("POST /v1/graphs/uploads", s.handleUploadCreate)
+		route("POST /v1/graphs/uploads/{id}", s.handleUploadAppend)
+		route("POST /v1/graphs/uploads/{id}/finalize", s.handleUploadFinalize)
+		route("DELETE /v1/graphs/uploads/{id}", s.handleUploadAbort)
+		route("POST /v1/cluster", s.handleCluster)
+		route("GET /v1/jobs/{id}", s.handleGetJob)
+		route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	}
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
 }
@@ -397,10 +465,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close releases the WAL (durable mode only), aborts in-flight uploads
-// and unmaps memory-mapped graphs. Call after Drain: the mappings are
-// unmapped here precisely because no job can still be reading them.
+// Close releases the WAL (durable mode only), stops the health checker
+// and background sweepers, aborts in-flight uploads and unmaps
+// memory-mapped graphs. Call after Drain: the mappings are unmapped
+// here precisely because no job can still be reading them.
 func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.stop) })
+	if s.coord != nil {
+		s.coord.health.Stop()
+	}
 	s.uploadMu.Lock()
 	for id, sess := range s.uploads {
 		sess.abort()

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	symcluster "symcluster"
@@ -41,11 +42,19 @@ type uploadSession struct {
 	dir     string // scratch dir owning ingest state and the finalized file
 	created time.Time
 
+	// lastActive is the unix-nano time of the last client request against
+	// the session; the TTL sweeper reaps sessions idle past -upload-ttl
+	// (an abandoned upload otherwise pins spill files forever).
+	lastActive atomic.Int64
+
 	mu     sync.Mutex
 	ing    *csr.Ingester
 	failed error // first ingest error; poisons the session
 	done   bool
 }
+
+// touch records client activity for the TTL sweeper.
+func (sess *uploadSession) touch() { sess.lastActive.Store(time.Now().UnixNano()) }
 
 // abort releases the session's ingest state and scratch. Idempotent;
 // callers hold no locks.
@@ -83,12 +92,17 @@ func (s *Server) handleUploadCreate(w http.ResponseWriter, r *http.Request) {
 		created: time.Now(),
 		ing:     ing,
 	}
+	sess.touch()
 	s.uploadMu.Lock()
 	s.uploads[sess.id] = sess
 	s.uploadMu.Unlock()
+	// The id is qualified with this node's name in cluster mode: the
+	// session (ingest buffer, spill runs) lives only here, so every
+	// later chunk must route back.
+	id := s.qualifyID(sess.id)
 	writeJSON(w, http.StatusCreated, UploadRef{
-		UploadID: sess.id,
-		Location: "/v1/graphs/uploads/" + sess.id,
+		UploadID: id,
+		Location: "/v1/graphs/uploads/" + id,
 	})
 }
 
@@ -116,6 +130,7 @@ func (s *Server) handleUploadAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown upload %q", r.PathValue("id")))
 		return
 	}
+	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if err := sess.usableLocked(); err != nil {
@@ -158,7 +173,7 @@ func (s *Server) handleUploadAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	bytesIn, edges := sess.ing.Stats()
 	writeJSON(w, http.StatusAccepted, UploadStatus{
-		UploadID:      sess.id,
+		UploadID:      s.qualifyID(sess.id),
 		BytesReceived: bytesIn,
 		Edges:         edges,
 	})
@@ -184,6 +199,7 @@ func (s *Server) handleUploadFinalize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown upload %q", r.PathValue("id")))
 		return
 	}
+	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if err := sess.usableLocked(); err != nil {
@@ -217,26 +233,42 @@ func (s *Server) handleUploadFinalize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	csrPath, ownDir := dst, sess.dir
-	if s.store != nil {
+	// In cluster mode the fingerprint — unknowable until the merge just
+	// now — may place the graph on another shard. Ship the finished CSR
+	// file to its owner so cache and WAL locality hold; the result is
+	// the same UploadResult the client would have gotten locally.
+	if c := s.coord; c != nil && !forwarded(r) {
 		id := fmt.Sprintf("g-%016x", g.Fingerprint())
-		// The rename preserves the inode, so the live mapping stays
-		// valid at the new path (and even when a content-identical file
-		// already sits there and ours is unlinked instead).
-		adopted, aerr := s.store.AdoptGraphFile(id, dst)
-		if aerr != nil {
-			s.log().Error("persisting uploaded graph", "graph", id, "err", aerr)
-		} else {
-			csrPath = adopted
+		owner, ok := c.ownerOf(id)
+		if !ok {
+			mp.Close()
+			w.Header().Set("Retry-After", "1")
+			fail(http.StatusServiceUnavailable,
+				fmt.Errorf("no healthy node owns graph %s; retry finalize shortly", id))
+			return
+		}
+		if owner.Name != c.self.Name {
+			mp.Close() // the push reads the file; the mapping is not needed
+			ginfo, code, perr := c.pushGraph(ctx, owner, dst)
+			if perr != nil {
+				fail(code, perr)
+				return
+			}
 			os.RemoveAll(sess.dir)
 			sess.dir = ""
-			ownDir = ""
+			writeJSON(w, http.StatusCreated, UploadResult{
+				Graph:       ginfo,
+				Edges:       info.Edges,
+				BytesIn:     info.BytesIn,
+				SpillRuns:   info.SpillRuns,
+				MergedBytes: info.MergedBytes,
+			})
+			return
 		}
 	}
-	ginfo := s.addGraph(g, csrPath, mp, ownDir)
-	if ownDir != "" {
-		sess.dir = "" // ownership moved to the graph registry
-	}
+
+	ginfo := s.registerMappedCSR(g, mp, dst, sess.dir)
+	sess.dir = "" // ownership moved to the graph registry (or the store)
 	writeJSON(w, http.StatusCreated, UploadResult{
 		Graph:       ginfo,
 		Edges:       info.Edges,
@@ -244,6 +276,68 @@ func (s *Server) handleUploadFinalize(w http.ResponseWriter, r *http.Request) {
 		SpillRuns:   info.SpillRuns,
 		MergedBytes: info.MergedBytes,
 	})
+}
+
+// registerMappedCSR registers an already-mapped on-disk CSR graph,
+// moving the file into the durable store when one is configured (the
+// rename preserves the inode, so the live mapping stays valid at the
+// new path — and even when a content-identical file already sits there
+// and ours is unlinked instead). ownDir is the scratch directory the
+// file currently lives in; the graph registry takes ownership of it
+// unless the store adoption made it redundant.
+func (s *Server) registerMappedCSR(g *symcluster.DirectedGraph, mp *csr.Mapped, csrPath, ownDir string) GraphInfo {
+	if s.store != nil {
+		id := fmt.Sprintf("g-%016x", g.Fingerprint())
+		adopted, aerr := s.store.AdoptGraphFile(id, csrPath)
+		if aerr != nil {
+			s.log().Error("persisting graph", "graph", id, "err", aerr)
+		} else {
+			csrPath = adopted
+			os.RemoveAll(ownDir)
+			ownDir = ""
+		}
+	}
+	return s.addGraph(g, csrPath, mp, ownDir)
+}
+
+// sweepUploads periodically reaps upload sessions idle past UploadTTL,
+// releasing their ingest buffers and spill files. It runs for the life
+// of the server when -upload-ttl is set.
+func (s *Server) sweepUploads() {
+	interval := s.cfg.UploadTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.expireUploads(time.Now())
+		}
+	}
+}
+
+// expireUploads reaps every session idle at or past the TTL. Split from
+// the sweep loop so tests can trigger a pass synchronously.
+func (s *Server) expireUploads(now time.Time) {
+	var expired []*uploadSession
+	s.uploadMu.Lock()
+	for id, sess := range s.uploads {
+		if now.Sub(time.Unix(0, sess.lastActive.Load())) >= s.cfg.UploadTTL {
+			delete(s.uploads, id)
+			expired = append(expired, sess)
+		}
+	}
+	s.uploadMu.Unlock()
+	for _, sess := range expired {
+		sess.abort()
+		s.metrics.IncUploadExpired()
+		s.log().Info("expired idle upload session", "upload", sess.id,
+			"idle", now.Sub(time.Unix(0, sess.lastActive.Load())).String())
+	}
 }
 
 // handleUploadAbort discards a session: DELETE /v1/graphs/uploads/{id}.
