@@ -70,6 +70,16 @@ lint:
 			"gets per-attempt timeouts, capped jittered backoff, and" \
 			"Retry-After handling, DESIGN.md §14):"; \
 		echo "$$out"; exit 1; fi
+	@out="$$(grep -rn --include='*.go' --exclude='*_test.go' \
+		-E 'matrix\.(MulPruned(Parallel)?(Ctx)?|MulAAT(Parallel(Ctx)?|Ctx)?)\(' . \
+		| grep -v -e '^\./internal/core/reference\.go:' -e '^\./cmd/symbench/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: raw pruned-SpGEMM kernel call outside the reference path" \
+			"(symmetrization products must go through the fused plan" \
+			"executor — matrix.MulScaledPruned*/MulXXTScaledPruned* via" \
+			"internal/core — so scalings and pruning stay fused and the" \
+			"bit-identity contract holds, DESIGN.md §15):"; \
+		echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -100,12 +110,15 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/csr
 
-# Regenerate the out-of-core benchmark artifact: SpGEMM, the full
-# degree-discounted symmetrization, and MLR-MCL, each in-core and
-# against the mmap'd binary CSR store. Takes a couple of minutes; the
-# committed BENCH_PR6.json is the reference copy.
+# Regenerate the fused-execution benchmark artifact: the scaled-pruned
+# SpGEMM (materialized baseline vs fused vs mmap'd operands), the full
+# degree-discounted symmetrization (pre-fusion baseline vs fused
+# in-core vs out-of-core), and MLR-MCL, every row with wall time and
+# bytes allocated. Takes a couple of minutes; the committed
+# BENCH_PR8.json is the reference copy (BENCH_PR6.json is the
+# pre-fusion snapshot it is compared against).
 bench:
-	$(GO) run ./cmd/symbench -out BENCH_PR6.json
+	$(GO) run ./cmd/symbench -out BENCH_PR8.json
 
 test-long:
 	$(GO) test ./...

@@ -53,22 +53,28 @@ func (o *Options) fill() {
 
 // RowSimilarity returns the degree-discounted similarity between the
 // rows of the biadjacency matrix b (n×n symmetric, diagonal dropped).
+// The discount factors fold into the fused self-product kernel, so the
+// scaled factor X = D_r^{-α} B D_c^{-β/2} is never materialised.
 func RowSimilarity(b *matrix.CSR, opt Options) *matrix.CSR {
 	opt.fill()
 	rowDeg := b.RowCounts()
 	colDeg := b.ColCounts()
-	x := b.ScaleRows(discount(rowDeg, opt.Alpha, 1)).ScaleCols(discount(colDeg, opt.Beta, 0.5))
-	return matrix.MulAAT(x, opt.Threshold).DropDiagonal()
+	rs := discount(rowDeg, opt.Alpha, 1)
+	cs := discount(colDeg, opt.Beta, 0.5)
+	return matrix.MulXXTScaledPruned(b, b.Transpose(), rs, cs, opt.Threshold, 1).DropDiagonal()
 }
 
 // ColSimilarity returns the degree-discounted similarity between the
-// columns of b (m×m symmetric, diagonal dropped).
+// columns of b (m×m symmetric, diagonal dropped). Bᵀ's own transpose
+// is B again (bit-exactly), so the one explicit transpose here is the
+// only copy the fused kernel needs.
 func ColSimilarity(b *matrix.CSR, opt Options) *matrix.CSR {
 	opt.fill()
 	rowDeg := b.RowCounts()
 	colDeg := b.ColCounts()
-	y := b.Transpose().ScaleRows(discount(colDeg, opt.Beta, 1)).ScaleCols(discount(rowDeg, opt.Alpha, 0.5))
-	return matrix.MulAAT(y, opt.Threshold).DropDiagonal()
+	rs := discount(colDeg, opt.Beta, 1)
+	cs := discount(rowDeg, opt.Alpha, 0.5)
+	return matrix.MulXXTScaledPruned(b.Transpose(), b, rs, cs, opt.Threshold, 1).DropDiagonal()
 }
 
 func discount(deg []int, exp, share float64) []float64 {

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"symcluster/internal/matrix"
+)
+
+// fusedVsReference runs one method through the fused execution layer
+// (the production kernels map) and through the pre-fusion materialized
+// dataflow, requiring bit-identical output.
+func fusedVsReference(t *testing.T, a *matrix.CSR, m Method, opt Options) {
+	t.Helper()
+	want, err := ReferenceSymmetrize(context.Background(), a, m, opt)
+	if err != nil {
+		t.Fatalf("%v: reference: %v", m, err)
+	}
+	got, err := kernels[m](context.Background(), a, opt)
+	if err != nil {
+		t.Fatalf("%v: fused: %v", m, err)
+	}
+	bitIdentical(t, want, got)
+}
+
+// TestQuickFusedMatchesReference is the fusion contract over random
+// graphs: for every method, threshold, self-loop setting, and diagonal
+// handling, the fused plan/executor path reproduces the materialized
+// pre-fusion dataflow bit-for-bit.
+func TestQuickFusedMatchesReference(t *testing.T) {
+	f := func(g digraphGen, thRaw uint8, selfLoops, keepDiag bool) bool {
+		opt := Defaults()
+		opt.Threshold = float64(thRaw) / 512 // 0 .. ~0.5
+		opt.AddSelfLoops = selfLoops
+		opt.DropDiagonal = !keepDiag
+		for _, m := range Methods {
+			want, err1 := ReferenceSymmetrize(context.Background(), g.A, m, opt)
+			got, err2 := kernels[m](context.Background(), g.A, opt)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !sameBits(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameBits is bitIdentical as a predicate for quick.Check.
+func sameBits(want, got *matrix.CSR) bool {
+	if want.Rows != got.Rows || want.Cols != got.Cols || want.NNZ() != got.NNZ() {
+		return false
+	}
+	for i := range want.RowPtr {
+		if want.RowPtr[i] != got.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range want.ColIdx {
+		if want.ColIdx[k] != got.ColIdx[k] {
+			return false
+		}
+	}
+	for k := range want.Val {
+		// NaNs cannot occur (non-negative weights); exact comparison is
+		// the bit-identity contract.
+		if want.Val[k] != got.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFusedMatchesReferenceLargeGraph drives the fused path through
+// the tiled parallel driver (≥ 2 row tiles) and the worker-count
+// matrix, on a hub-heavy deterministic graph.
+func TestFusedMatchesReferenceLargeGraph(t *testing.T) {
+	g := oocTestGraph(t, 1200, 5, 17)
+	for _, m := range []Method{Bibliometric, DegreeDiscounted} {
+		for _, th := range []float64{0, 0.01} {
+			for _, workers := range []int{1, 2, 4} {
+				opt := Defaults()
+				opt.Threshold = th
+				opt.Workers = workers
+				fusedVsReference(t, g.Adj, m, opt)
+			}
+		}
+	}
+}
+
+// TestFusedMatchesReferenceVariants covers the option corners the
+// quick generator leaves fixed: log discounting, asymmetric exponents,
+// and kept diagonals under a threshold.
+func TestFusedMatchesReferenceVariants(t *testing.T) {
+	g := oocTestGraph(t, 300, 6, 23)
+	for _, tc := range []struct {
+		name string
+		m    Method
+		opt  func() Options
+	}{
+		{"dd-log", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.AlphaKind, o.BetaKind = LogDiscount, LogDiscount
+			return o
+		}},
+		{"dd-asymmetric", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.Alpha, o.Beta = 0.25, 0.75
+			o.Threshold = 0.005
+			return o
+		}},
+		{"dd-keep-diag-thr", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.DropDiagonal = false
+			o.Threshold = 0.01
+			return o
+		}},
+		{"bib-selfloops-workers", Bibliometric, func() Options {
+			o := Defaults()
+			o.AddSelfLoops = true
+			o.Threshold = 0.5
+			o.Workers = 3
+			return o
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fusedVsReference(t, g.Adj, tc.m, tc.opt())
+		})
+	}
+}
+
+// TestOutOfCoreMatchesReference closes the triangle: the out-of-core
+// lowering of the shared plan must also be bit-identical to the
+// materialized pre-fusion dataflow (TestOutOfCoreBitIdentity covers
+// out-of-core vs in-core; this pins both to the reference).
+func TestOutOfCoreMatchesReference(t *testing.T) {
+	g := oocTestGraph(t, 300, 6, 29)
+	for _, tc := range []struct {
+		name string
+		m    Method
+		opt  func() Options
+	}{
+		{"dd", DegreeDiscounted, Defaults},
+		{"dd-thr-workers", DegreeDiscounted, func() Options {
+			o := Defaults()
+			o.Threshold = 0.01
+			o.Workers = 4
+			return o
+		}},
+		{"bib-selfloops", Bibliometric, func() Options {
+			o := Defaults()
+			o.AddSelfLoops = true
+			return o
+		}},
+		{"aat", AAT, Defaults},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt()
+			want, err := ReferenceSymmetrize(context.Background(), g.Adj, tc.m, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := WithOutOfCore(context.Background(), OutOfCoreConfig{ScratchDir: t.TempDir()})
+			got, err := SymmetrizeCtx(ctx, g, tc.m, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitIdentical(t, want, got.Adj)
+		})
+	}
+}

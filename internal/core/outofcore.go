@@ -11,15 +11,17 @@ import (
 	"symcluster/internal/matrix"
 )
 
-// Out-of-core symmetrization: the same kernels, but every large
-// operand — the input adjacency, its transpose, and the scaled factor
-// matrices — lives in memory-mapped binary CSR files instead of the
-// heap. The products stream rows from file-backed pages the OS evicts
-// under pressure, so peak resident memory is bounded by the (pruned)
-// products themselves rather than by the input size. Results are
-// byte-identical to the in-core path: every file operation replicates
-// its in-memory counterpart's value arithmetic bit-for-bit, and the
-// product kernels are the same functions consuming mapped views.
+// Out-of-core symmetrization: the same plans as the in-core path
+// (plan.go), lowered by the shared executor (executor.go) with the
+// large operands — the input adjacency and its transpose — living in
+// memory-mapped binary CSR files instead of the heap. The fused
+// product kernels fold the diagonal scalings in, so no scaled factor
+// file is ever written; they stream rows from file-backed pages the OS
+// evicts under pressure, and peak resident memory is bounded by the
+// (pruned) products themselves rather than by the input size. Results
+// are byte-identical to the in-core path: both are lowerings of one
+// plan through the same kernels, and every file operation replicates
+// its in-memory counterpart's value arithmetic bit-for-bit.
 
 // ErrResidentBudget marks an out-of-core run aborted because its
 // in-memory intermediates (the product matrices, which cannot live on
@@ -164,27 +166,25 @@ func symmetrizeOutOfCore(ctx context.Context, a *matrix.CSR, method Method, opt 
 
 // oocKernels maps each method to its out-of-core kernel, mirroring the
 // in-core kernels map (and, like it, staying out of switch statements
-// so the pipeline registry owns the catalog).
+// so the pipeline registry owns the catalog). The product-shaped
+// methods reuse the in-core plans verbatim — the executor's s != nil
+// lowering swaps heap transposes for mmap'd files; RandomWalk keeps a
+// bespoke kernel, like in-core.
 var oocKernels = map[Method]func(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error){
-	AAT:              oocAAT,
-	RandomWalk:       oocRandomWalk,
-	Bibliometric:     oocBibliometric,
-	DegreeDiscounted: oocDegreeDiscounted,
-}
-
-// oocSelfProduct computes x·xᵀ given xᵀ already on file, mirroring
-// selfProductCtx's backend selection so results stay bit-identical.
-// The APSS backend builds its own in-memory index, so it gains nothing
-// from the transpose file and delegates to the in-core path over the
-// mapped view.
-func oocSelfProduct(ctx context.Context, x, xt *matrix.CSR, opt Options) (*matrix.CSR, error) {
-	if !opt.UseAPSS || opt.Threshold <= 0 {
-		if opt.Workers > 1 {
-			return matrix.MulPrunedParallelCtx(ctx, x, xt, opt.Threshold, opt.Workers)
+	AAT: func(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
+		return runPlan(ctx, s.a, aatPlan(), opt, s)
+	},
+	RandomWalk: oocRandomWalk,
+	Bibliometric: func(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
+		return runPlan(ctx, s.a, bibliometricPlan(opt), opt, s)
+	},
+	DegreeDiscounted: func(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
+		plan, err := degreeDiscountedPlan(opt)
+		if err != nil {
+			return nil, err
 		}
-		return matrix.MulPrunedCtx(ctx, x, xt, opt.Threshold)
-	}
-	return selfProductCtx(ctx, x, opt)
+		return runPlan(ctx, s.a, plan, opt, s)
+	},
 }
 
 // augmented returns the input view, replaced by an A+I scratch file
@@ -200,19 +200,6 @@ func (s *oocState) augmented(ctx context.Context, opt Options) (*matrix.CSR, err
 	return s.open(ctx, dst)
 }
 
-// oocAAT computes A + Aᵀ with the transpose streamed through a file.
-func oocAAT(ctx context.Context, s *oocState, _ Options) (*matrix.CSR, error) {
-	at, err := s.transpose(ctx, s.a, "at.csr")
-	if err != nil {
-		return nil, err
-	}
-	u := matrix.Add(s.a, at, 1, 1)
-	if err := s.charge(matBytes(u)); err != nil {
-		return nil, err
-	}
-	return u, nil
-}
-
 // oocRandomWalk runs the in-core random-walk kernel over the mapped
 // view: its intermediates (transition matrix, ΠP and the result) are
 // all sized like the input, so they are metered, but the algorithm has
@@ -222,116 +209,4 @@ func oocRandomWalk(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, 
 		return nil, err
 	}
 	return SymmetrizeRandomWalkCtx(ctx, s.a, opt.Teleport)
-}
-
-// oocBibliometric computes AAᵀ + AᵀA with A and Aᵀ mapped. The
-// co-citation term AᵀA is the self-product of Aᵀ, whose transpose is A
-// again — bit-identically, since transposition copies values exactly —
-// so one transpose file serves both products.
-func oocBibliometric(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
-	a, err := s.augmented(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	at, err := s.transpose(ctx, a, "at.csr")
-	if err != nil {
-		return nil, err
-	}
-	coupling, err := oocSelfProduct(ctx, a, at, opt) // AAᵀ
-	if err != nil {
-		return nil, err
-	}
-	if err := s.charge(matBytes(coupling)); err != nil {
-		return nil, err
-	}
-	cocitation, err := oocSelfProduct(ctx, at, a, opt) // AᵀA
-	if err != nil {
-		return nil, err
-	}
-	if err := s.charge(matBytes(cocitation)); err != nil {
-		return nil, err
-	}
-	u := matrix.Add(coupling, cocitation, 1, 1)
-	if opt.DropDiagonal {
-		u = u.DropDiagonal()
-	}
-	return u, nil
-}
-
-// oocDegreeDiscounted computes the degree-discounted similarity with
-// every scaled factor matrix on file: X = D_o^{-α} A D_i^{-β/2} and
-// Y = D_i^{-β} Aᵀ D_o^{-α/2} are produced by streaming scans of the
-// mapped input (and its file transpose) and are themselves mapped for
-// the two self-products.
-func oocDegreeDiscounted(ctx context.Context, s *oocState, opt Options) (*matrix.CSR, error) {
-	if opt.Alpha < 0 || opt.Beta < 0 {
-		return nil, fmt.Errorf("core: negative discount exponents α=%v β=%v", opt.Alpha, opt.Beta)
-	}
-	a, err := s.augmented(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	outDeg := a.RowCounts()
-	inDeg := a.ColCounts()
-	if err := s.charge(16 * int64(a.Rows)); err != nil { // two []int
-		return nil, err
-	}
-
-	alphaFull := discountVector(outDeg, opt.AlphaKind, opt.Alpha, 1)
-	alphaHalf := discountVector(outDeg, opt.AlphaKind, opt.Alpha, 0.5)
-	betaFull := discountVector(inDeg, opt.BetaKind, opt.Beta, 1)
-	betaHalf := discountVector(inDeg, opt.BetaKind, opt.Beta, 0.5)
-
-	// X = D_o^{-α} A D_i^{-β/2}, its transpose, and B_d = X·Xᵀ.
-	xPath := s.path("x.csr")
-	if err := csr.ScaleToFile(ctx, a, alphaFull, betaHalf, xPath); err != nil {
-		return nil, err
-	}
-	x, err := s.open(ctx, xPath)
-	if err != nil {
-		return nil, err
-	}
-	xt, err := s.transpose(ctx, x, "xt.csr")
-	if err != nil {
-		return nil, err
-	}
-	bd, err := oocSelfProduct(ctx, x, xt, opt)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.charge(matBytes(bd)); err != nil {
-		return nil, err
-	}
-
-	// Y = D_i^{-β} Aᵀ D_o^{-α/2} via the file transpose of A, and
-	// C_d = Y·Yᵀ.
-	at, err := s.transpose(ctx, a, "at.csr")
-	if err != nil {
-		return nil, err
-	}
-	yPath := s.path("y.csr")
-	if err := csr.ScaleToFile(ctx, at, betaFull, alphaHalf, yPath); err != nil {
-		return nil, err
-	}
-	y, err := s.open(ctx, yPath)
-	if err != nil {
-		return nil, err
-	}
-	yt, err := s.transpose(ctx, y, "yt.csr")
-	if err != nil {
-		return nil, err
-	}
-	cd, err := oocSelfProduct(ctx, y, yt, opt)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.charge(matBytes(cd)); err != nil {
-		return nil, err
-	}
-
-	u := matrix.Add(bd, cd, 1, 1)
-	if opt.DropDiagonal {
-		u = u.DropDiagonal()
-	}
-	return u, nil
 }

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// A symmetrization plan is the declarative middle layer between the
+// method catalog and the kernels: each product-shaped method describes
+// *what* to compute — optional self-loop augmentation, either a
+// mirror (scale·A + scale·Aᵀ) or a sum of scaled self-product terms,
+// and diagonal handling — and the executor in executor.go lowers that
+// one description to either the in-core fused kernels or the
+// mmap-backed out-of-core strategy. Both execution paths therefore
+// share a single dataflow definition; the duplicated per-method
+// kernels the plan replaced lived in this package's symmetrize.go and
+// outofcore.go through PR 7.
+
+// degreeSide selects which unweighted degree vector a scaleSpec is
+// derived from.
+type degreeSide int
+
+const (
+	outDegrees degreeSide = iota
+	inDegrees
+)
+
+// scaleSpec describes one diagonal discount factor symbolically:
+// f(d)^share over the chosen degree vector, resolved to a concrete
+// []float64 by the executor via discountVector once degrees are known.
+// A nil *scaleSpec is the identity (no scaling).
+type scaleSpec struct {
+	side  degreeSide
+	kind  DiscountKind
+	exp   float64
+	share float64
+}
+
+// productTerm is one fused self-product contribution
+// S = X·Xᵀ with X = diag(rowScale)·base·diag(colScale), where base is
+// the (augmented) adjacency A, or Aᵀ when transposed is set. The
+// executor provides both A and one shared Aᵀ, so a transposed term
+// costs no extra transpose: (Aᵀ)ᵀ is A again, bit-exactly, since
+// transposition copies values unchanged.
+type productTerm struct {
+	transposed bool
+	rowScale   *scaleSpec
+	colScale   *scaleSpec
+}
+
+// symPlan is a complete symmetrization dataflow. Exactly one of mirror
+// or terms is active: mirror computes mirrorScale·(A + Aᵀ); terms sums
+// the listed fused self-products and then applies dropDiagonal.
+type symPlan struct {
+	addSelfLoops bool
+	mirror       bool
+	mirrorScale  float64
+	terms        []productTerm
+	dropDiagonal bool
+}
+
+// aatPlan is U = A + Aᵀ (§3.1): a pure mirror with unit scale.
+// Self-loop augmentation and diagonal dropping are product-method
+// concepts and do not apply.
+func aatPlan() *symPlan {
+	return &symPlan{mirror: true, mirrorScale: 1}
+}
+
+// bibliometricPlan is U = AAᵀ + AᵀA (§3.3): two unscaled self-product
+// terms — bibliographic coupling over A, co-citation over Aᵀ.
+func bibliometricPlan(opt Options) *symPlan {
+	return &symPlan{
+		addSelfLoops: opt.AddSelfLoops,
+		terms: []productTerm{
+			{transposed: false}, // AAᵀ
+			{transposed: true},  // AᵀA
+		},
+		dropDiagonal: opt.DropDiagonal,
+	}
+}
+
+// degreeDiscountedPlan is the paper's proposal (§3.4):
+//
+//	U_d = D_o^{-α} A D_i^{-β} Aᵀ D_o^{-α} + D_i^{-β} Aᵀ D_o^{-α} A D_i^{-β}
+//
+// expressed as two scaled self-products: with X = D_o^{-α} A D_i^{-β/2}
+// the coupling term is X·Xᵀ, and with Y = D_i^{-β} Aᵀ D_o^{-α/2} the
+// co-citation term is Y·Yᵀ — the half-exponent column factor is the
+// full middle discount split across the two sides of each product.
+func degreeDiscountedPlan(opt Options) (*symPlan, error) {
+	if opt.Alpha < 0 || opt.Beta < 0 {
+		return nil, fmt.Errorf("core: negative discount exponents α=%v β=%v", opt.Alpha, opt.Beta)
+	}
+	alphaFull := &scaleSpec{side: outDegrees, kind: opt.AlphaKind, exp: opt.Alpha, share: 1}
+	alphaHalf := &scaleSpec{side: outDegrees, kind: opt.AlphaKind, exp: opt.Alpha, share: 0.5}
+	betaFull := &scaleSpec{side: inDegrees, kind: opt.BetaKind, exp: opt.Beta, share: 1}
+	betaHalf := &scaleSpec{side: inDegrees, kind: opt.BetaKind, exp: opt.Beta, share: 0.5}
+	return &symPlan{
+		addSelfLoops: opt.AddSelfLoops,
+		terms: []productTerm{
+			{transposed: false, rowScale: alphaFull, colScale: betaHalf}, // X·Xᵀ
+			{transposed: true, rowScale: betaFull, colScale: alphaHalf},  // Y·Yᵀ
+		},
+		dropDiagonal: opt.DropDiagonal,
+	}, nil
+}
+
+// needsDegrees reports whether lowering the plan requires the degree
+// vectors (any term carries a scale spec). Gates the out-of-core
+// resident-budget charge for the vectors.
+func (p *symPlan) needsDegrees() bool {
+	for _, t := range p.terms {
+		if t.rowScale != nil || t.colScale != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -29,7 +29,6 @@ import (
 	"symcluster/internal/graph"
 	"symcluster/internal/matrix"
 	"symcluster/internal/obs"
-	"symcluster/internal/simjoin"
 	"symcluster/internal/walk"
 )
 
@@ -193,10 +192,14 @@ func SymmetrizeCtx(ctx context.Context, g *graph.Directed, method Method, opt Op
 
 // kernels maps each method to its math kernel. The kernel wiring lives
 // here next to the kernels; everything catalog-shaped (names, aliases,
-// validation, cost models) lives in internal/pipeline.
+// validation, cost models) lives in internal/pipeline. The
+// product-shaped methods build a symmetrization plan (plan.go) lowered
+// by the shared executor (executor.go); RandomWalk keeps a bespoke
+// kernel because its core is an iterative stationary-distribution
+// solve, not a plan-shaped product.
 var kernels = map[Method]func(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error){
-	AAT: func(_ context.Context, a *matrix.CSR, _ Options) (*matrix.CSR, error) {
-		return SymmetrizeAAT(a), nil
+	AAT: func(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
+		return runPlan(ctx, a, aatPlan(), opt, nil)
 	},
 	RandomWalk: func(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
 		return SymmetrizeRandomWalkCtx(ctx, a, opt.Teleport)
@@ -205,9 +208,10 @@ var kernels = map[Method]func(ctx context.Context, a *matrix.CSR, opt Options) (
 	DegreeDiscounted: SymmetrizeDegreeDiscountedCtx,
 }
 
-// SymmetrizeAAT returns U = A + Aᵀ (§3.1).
+// SymmetrizeAAT returns U = A + Aᵀ (§3.1), computed by the
+// triangle-and-mirror helper so the transpose is never materialised.
 func SymmetrizeAAT(a *matrix.CSR) *matrix.CSR {
-	return matrix.Add(a, a.Transpose(), 1, 1)
+	return matrix.AddTransposeSym(a, 1)
 }
 
 // SymmetrizeRandomWalk returns U = (ΠP + PᵀΠ)/2 (§3.2), where P is the
@@ -231,7 +235,9 @@ func SymmetrizeRandomWalkCtx(ctx context.Context, a *matrix.CSR, teleport float6
 		return nil, fmt.Errorf("core: random-walk symmetrization: %w", err)
 	}
 	piP := p.ScaleRows(pi) // ΠP
-	return matrix.Add(piP, piP.Transpose(), 0.5, 0.5), nil
+	// (ΠP + PᵀΠ)/2 = (ΠP + (ΠP)ᵀ)/2: a half-scale mirror, fused through
+	// the triangle helper instead of materializing (ΠP)ᵀ.
+	return matrix.AddTransposeSym(piP, 0.5), nil
 }
 
 // SymmetrizeBibliometric returns U = AAᵀ + AᵀA (§3.3), honouring
@@ -249,64 +255,7 @@ func SymmetrizeBibliometric(a *matrix.CSR, opt Options) *matrix.CSR {
 // cancellation: the two self-products poll ctx at row-block boundaries
 // and a cancelled context aborts with ctx's error.
 func SymmetrizeBibliometricCtx(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
-	if opt.AddSelfLoops {
-		a = a.AddIdentity()
-	}
-	at := a.Transpose()
-	coupling, err := selfProductCtx(ctx, a, opt) // AAᵀ
-	if err != nil {
-		return nil, err
-	}
-	cocitation, err := selfProductCtx(ctx, at, opt) // AᵀA
-	if err != nil {
-		return nil, err
-	}
-	u := matrix.Add(coupling, cocitation, 1, 1)
-	if opt.DropDiagonal {
-		u = u.DropDiagonal()
-	}
-	return u, nil
-}
-
-// selfProductCtx computes x·xᵀ with the configured pruning backend:
-// row-wise SpGEMM (default) or the Bayardo-style all-pairs similarity
-// search when opt.UseAPSS and a positive threshold are set. The APSS
-// backend omits the diagonal, so it is restored here for callers that
-// keep self-similarities. The SpGEMM backends poll ctx at row-block
-// boundaries; the APSS backend is checked before and after the join.
-func selfProductCtx(ctx context.Context, x *matrix.CSR, opt Options) (*matrix.CSR, error) {
-	if !opt.UseAPSS || opt.Threshold <= 0 {
-		if opt.Workers > 1 {
-			return matrix.MulAATParallelCtx(ctx, x, opt.Threshold, opt.Workers)
-		}
-		return matrix.MulAATCtx(ctx, x, opt.Threshold)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	p, err := simjoin.SelfJoin(x, opt.Threshold)
-	if err != nil {
-		// Negative weights or a zero threshold: fall back to SpGEMM,
-		// which handles both.
-		return matrix.MulAATCtx(ctx, x, opt.Threshold)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if opt.DropDiagonal {
-		return p, nil
-	}
-	diag := make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		_, vals := x.Row(i)
-		for _, v := range vals {
-			diag[i] += v * v
-		}
-		if diag[i] < opt.Threshold {
-			diag[i] = 0
-		}
-	}
-	return matrix.Add(p, matrix.Diagonal(diag), 1, 1), nil
+	return runPlan(ctx, a, bibliometricPlan(opt), opt, nil)
 }
 
 // SymmetrizeDegreeDiscounted returns the degree-discounted similarity
@@ -316,8 +265,10 @@ func selfProductCtx(ctx context.Context, x *matrix.CSR, opt Options) (*matrix.CS
 //
 // Both terms are computed as scaled self-products: with
 // X = D_o^{-α} A D_i^{-β/2} the coupling term is B_d = X·Xᵀ, and with
-// Y = D_i^{-β} Aᵀ D_o^{-α/2} the co-citation term is C_d = Y·Yᵀ. This
-// reuses one X·Xᵀ kernel and keeps pruning inside the product.
+// Y = D_i^{-β} Aᵀ D_o^{-α/2} the co-citation term is C_d = Y·Yᵀ. The
+// fused execution layer never materialises X or Y: the discount
+// factors and the prune threshold fold into the self-product kernel
+// itself (see plan.go and executor.go).
 //
 // Degrees are unweighted in/out degrees of A (after optional self-loop
 // augmentation); zero-degree factors are treated as 1 so isolated
@@ -329,40 +280,11 @@ func SymmetrizeDegreeDiscounted(a *matrix.CSR, opt Options) (*matrix.CSR, error)
 // SymmetrizeDegreeDiscountedCtx is SymmetrizeDegreeDiscounted with
 // cancellation at row-block boundaries of the two scaled self-products.
 func SymmetrizeDegreeDiscountedCtx(ctx context.Context, a *matrix.CSR, opt Options) (*matrix.CSR, error) {
-	if opt.Alpha < 0 || opt.Beta < 0 {
-		return nil, fmt.Errorf("core: negative discount exponents α=%v β=%v", opt.Alpha, opt.Beta)
-	}
-	if opt.AddSelfLoops {
-		a = a.AddIdentity()
-	}
-	outDeg := a.RowCounts()
-	inDeg := a.ColCounts()
-
-	// Discount factors: d^{-α} (or 1/(1+ln d) for LogDiscount), with the
-	// half-exponent variants used to split a factor across the two sides
-	// of a self-product.
-	alphaFull := discountVector(outDeg, opt.AlphaKind, opt.Alpha, 1)
-	alphaHalf := discountVector(outDeg, opt.AlphaKind, opt.Alpha, 0.5)
-	betaFull := discountVector(inDeg, opt.BetaKind, opt.Beta, 1)
-	betaHalf := discountVector(inDeg, opt.BetaKind, opt.Beta, 0.5)
-
-	x := a.ScaleRows(alphaFull).ScaleCols(betaHalf) // D_o^{-α} A D_i^{-β/2}
-	bd, err := selfProductCtx(ctx, x, opt)
+	plan, err := degreeDiscountedPlan(opt)
 	if err != nil {
 		return nil, err
 	}
-
-	y := a.Transpose().ScaleRows(betaFull).ScaleCols(alphaHalf) // D_i^{-β} Aᵀ D_o^{-α/2}
-	cd, err := selfProductCtx(ctx, y, opt)
-	if err != nil {
-		return nil, err
-	}
-
-	u := matrix.Add(bd, cd, 1, 1)
-	if opt.DropDiagonal {
-		u = u.DropDiagonal()
-	}
-	return u, nil
+	return runPlan(ctx, a, plan, opt, nil)
 }
 
 // discountVector returns per-node factors f(d)^share where f(d) is

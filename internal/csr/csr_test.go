@@ -247,26 +247,6 @@ func TestTransposeToFile(t *testing.T) {
 	sameMatrix(t, m.Transpose(), mp.View())
 }
 
-func TestScaleToFile(t *testing.T) {
-	m := testMatrix(t, 25, 25, 4, 13)
-	rs := make([]float64, m.Rows)
-	cs := make([]float64, m.Cols)
-	for i := range rs {
-		rs[i] = 1 / math.Sqrt(float64(i+2))
-		cs[i] = 1 / math.Cbrt(float64(i+3))
-	}
-	dst := filepath.Join(t.TempDir(), "s.csr")
-	if err := ScaleToFile(context.Background(), m, rs, cs, dst); err != nil {
-		t.Fatal(err)
-	}
-	mp, err := Open(context.Background(), dst)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mp.Close()
-	sameMatrix(t, m.ScaleRows(rs).ScaleCols(cs), mp.View())
-}
-
 func TestAugmentIdentityToFile(t *testing.T) {
 	m := testMatrix(t, 30, 30, 4, 17)
 	// Force one diagonal that cancels to exactly zero and one that sums.

@@ -51,45 +51,6 @@ func TransposeToFile(ctx context.Context, src *matrix.CSR, scratchDir, dstPath s
 	return w.Close(ctx)
 }
 
-// ScaleToFile writes diag(rowScale)·src·diag(colScale) to dstPath,
-// streaming one row at a time. A nil scale vector means identity.
-// Each value is multiplied by its row factor first, then its column
-// factor — the same order as ScaleRows followed by ScaleCols, so the
-// rounding matches the in-memory pipeline exactly.
-func ScaleToFile(ctx context.Context, src *matrix.CSR, rowScale, colScale []float64, dstPath string) error {
-	if rowScale != nil && len(rowScale) != src.Rows {
-		return fmt.Errorf("csr: row scale length %d, want %d", len(rowScale), src.Rows)
-	}
-	if colScale != nil && len(colScale) != src.Cols {
-		return fmt.Errorf("csr: column scale length %d, want %d", len(colScale), src.Cols)
-	}
-	w, err := NewWriter(dstPath, src.Rows, src.Cols, int64(src.NNZ()))
-	if err != nil {
-		return err
-	}
-	for i := 0; i < src.Rows; i++ {
-		if err := ctx.Err(); err != nil {
-			w.Abort()
-			return err
-		}
-		cols, vals := src.Row(i)
-		for k, c := range cols {
-			v := vals[k]
-			if rowScale != nil {
-				v *= rowScale[i]
-			}
-			if colScale != nil {
-				v *= colScale[c]
-			}
-			if err := w.Append(i, c, v); err != nil {
-				w.Abort()
-				return err
-			}
-		}
-	}
-	return w.Close(ctx)
-}
-
 // AugmentIdentityToFile writes src + I to dstPath for square src,
 // streaming one row at a time. Semantics match
 // (*matrix.CSR).AddIdentity exactly: an existing diagonal entry v

@@ -123,13 +123,3 @@ func MulPrunedParallelCtx(ctx context.Context, a, b *CSR, threshold float64, wor
 	}
 	return out, nil
 }
-
-// MulAATParallel is MulAAT with the parallel kernel.
-func MulAATParallel(x *CSR, threshold float64, workers int) *CSR {
-	return MulPrunedParallel(x, x.Transpose(), threshold, workers)
-}
-
-// MulAATParallelCtx is MulAATParallel with cancellation.
-func MulAATParallelCtx(ctx context.Context, x *CSR, threshold float64, workers int) (*CSR, error) {
-	return MulPrunedParallelCtx(ctx, x, x.Transpose(), threshold, workers)
-}

@@ -35,13 +35,13 @@ func TestMulPrunedParallelTinyMatrix(t *testing.T) {
 	}
 }
 
-func TestMulAATParallel(t *testing.T) {
+func TestSelfProductParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	x := randomCSR(rng, 120, 60, 0.2, 0, 2)
 	seq := MulAAT(x, 0.1)
-	par := MulAATParallel(x, 0.1, 4)
+	par := MulPrunedParallel(x, x.Transpose(), 0.1, 4)
 	if !Equal(seq, par, 0) {
-		t.Fatal("parallel AAT differs")
+		t.Fatal("parallel self-product differs")
 	}
 }
 

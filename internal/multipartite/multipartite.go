@@ -107,20 +107,24 @@ func LayerSimilarity(g *Graph, layer int, opt Options) (*matrix.CSR, error) {
 	n := g.LayerSizes[layer]
 	sim := matrix.Zero(n, n)
 	for _, r := range g.Relations {
-		var x *matrix.CSR
+		// The discount factors fold into the fused self-product, so the
+		// scaled relation matrix is never materialised; for incoming
+		// relations the one explicit transpose doubles as the kernel's
+		// transpose operand, since (Bᵀ)ᵀ is B again bit-exactly.
+		var term *matrix.CSR
 		switch {
 		case r.From == layer:
-			rowDeg := r.B.RowCounts()
-			colDeg := r.B.ColCounts()
-			x = r.B.ScaleRows(invPow(rowDeg, opt.Alpha)).ScaleCols(invPow(colDeg, opt.Beta/2))
+			rs := invPow(r.B.RowCounts(), opt.Alpha)
+			cs := invPow(r.B.ColCounts(), opt.Beta/2)
+			term = matrix.MulXXTScaledPruned(r.B, r.B.Transpose(), rs, cs, opt.Threshold, 1)
 		case r.To == layer:
-			rowDeg := r.B.RowCounts()
-			colDeg := r.B.ColCounts()
-			x = r.B.Transpose().ScaleRows(invPow(colDeg, opt.Beta)).ScaleCols(invPow(rowDeg, opt.Alpha/2))
+			rs := invPow(r.B.ColCounts(), opt.Beta)
+			cs := invPow(r.B.RowCounts(), opt.Alpha/2)
+			term = matrix.MulXXTScaledPruned(r.B.Transpose(), r.B, rs, cs, opt.Threshold, 1)
 		default:
 			continue
 		}
-		sim = matrix.Add(sim, matrix.MulAAT(x, opt.Threshold), 1, 1)
+		sim = matrix.Add(sim, term, 1, 1)
 	}
 	return sim.DropDiagonal(), nil
 }

@@ -91,16 +91,20 @@ func csrBytes(n int, nnz int64) int64 {
 // safe and a rejected one reports the worst case it could have
 // reached.
 
-// productSymBytes bounds Bibliometric and DegreeDiscounted: both
+// productSymBytes bounds Bibliometric and DegreeDiscounted under the
+// fused execution layer: the diagonal scalings fold into the product
+// kernels, so no scaled factor clone is ever allocated — the only
+// input-shaped intermediate is the one Aᵀ shared by both terms. Both
 // products live at once while they are summed, and the sum is bounded
-// by their combined size. DegreeDiscounted only rescales the factors,
-// so its sparsity bound matches Bibliometric's.
+// by their combined size. DegreeDiscounted only rescales the terms, so
+// its sparsity bound matches Bibliometric's.
 func productSymBytes(gs GraphStats) int64 {
 	dense := int64(gs.Nodes) * int64(gs.Nodes)
 	coupling := minInt64(gs.CouplingFlops, dense)
 	cocit := minInt64(gs.CocitFlops, dense)
 	total := minInt64(coupling+cocit, dense)
-	return csrBytes(gs.Nodes, coupling) + csrBytes(gs.Nodes, cocit) + csrBytes(gs.Nodes, total)
+	transpose := csrBytes(gs.Nodes, gs.Edges)
+	return transpose + csrBytes(gs.Nodes, coupling) + csrBytes(gs.Nodes, cocit) + csrBytes(gs.Nodes, total)
 }
 
 func minInt64(a, b int64) int64 {
@@ -111,14 +115,15 @@ func minInt64(a, b int64) int64 {
 }
 
 // oocProductSymBytes bounds the heap-resident bytes of an out-of-core
-// product symmetrization. The input, its transpose and the scaled
-// factors are memory-mapped files (file-backed pages the OS evicts, so
-// they do not count against the heap); what stays resident is the
-// external-sort buffer, the degree/discount vectors, and — dominating
-// everything — the pruned products themselves. An unpruned product is
-// as large out-of-core as in-core, which is why this is honest about
-// the worst case being no smaller than productSymBytes minus the
-// input-sized factor clones the in-core path would also hold.
+// product symmetrization. The input and its transpose are memory-mapped
+// files (file-backed pages the OS evicts, so they do not count against
+// the heap) that the fused kernels stream rows from — the scalings fold
+// into the kernels, so there are no scaled-factor files either; what
+// stays resident is the external-sort buffer, the degree/discount
+// vectors, and — dominating everything — the pruned products
+// themselves. An unpruned product is as large out-of-core as in-core,
+// which is why this is honest about the worst case being no smaller
+// than productSymBytes minus the transpose the in-core path holds.
 func oocProductSymBytes(gs GraphStats) int64 {
 	sortAndVectors := int64(64<<20) + 64*int64(gs.Nodes)
 	return sortAndVectors + csrBytes(gs.Nodes, 2*gs.Edges)

@@ -29,10 +29,11 @@ import (
 
 // spillFactor bounds an out-of-core run's scratch footprint in units of
 // the input's file size: the input copy (worst case, when the graph has
-// no on-disk file yet), its transpose, two scaled factors, their two
-// transposes — six input-sized files — plus external-sort runs for the
-// two transposes, which hold the same triplets again.
-const spillFactor = 8
+// no on-disk file yet), the optional self-loop-augmented copy, and one
+// shared transpose — the fused kernels fold the scalings in, so no
+// scaled-factor files exist — plus external-sort runs for the
+// transpose, which hold the same triplets again.
+const spillFactor = 4
 
 // admit applies the byte budgets to one validated request and returns
 // the working-set estimate (which the queue shedder charges against

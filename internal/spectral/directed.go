@@ -121,7 +121,7 @@ func BestWCutCtx(ctx context.Context, a *matrix.CSR, k int, opt BestWCutOptions)
 
 	// S = (T̂'A + AᵀT̂')/2; N = D_T^{-1/2} S D_T^{-1/2}.
 	tpa := a.ScaleRows(tprime)
-	s := matrix.Add(tpa, tpa.Transpose(), 0.5, 0.5)
+	s := matrix.AddTransposeSym(tpa, 0.5)
 	dinv := make([]float64, n)
 	for i, t := range tvec {
 		if t > 0 {
@@ -189,7 +189,7 @@ func ZhouDirectedCtx(ctx context.Context, a *matrix.CSR, k int, opt ZhouOptions)
 		}
 	}
 	half := p.ScaleRows(sqrtPi).ScaleCols(invSqrtPi) // Π^{1/2} P Π^{-1/2}
-	nmat := matrix.Add(half, half.Transpose(), 0.5, 0.5)
+	nmat := matrix.AddTransposeSym(half, 0.5)
 
 	return spectralEmbedCluster(ctx, Operator(nmat), n, k, opt.Lanczos, opt.KMeans)
 }
