@@ -1,13 +1,13 @@
 // Command symbench benchmarks the fused symmetrization execution layer
 // against the materialized baseline and the out-of-core CSR store on a
 // deterministic synthetic graph, writing the numbers as JSON (by
-// default BENCH_PR8.json, the artifact committed with the fused-kernel
-// PR; BENCH_PR6.json is the previous snapshot it is compared against).
+// default BENCH_PR9.json, the artifact committed with the observability
+// PR; BENCH_PR8.json is the previous snapshot it is compared against).
 //
 // Usage:
 //
 //	symbench [-nodes N] [-degree D] [-seed S] [-threshold T]
-//	         [-runs R] [-spill-dir DIR] [-out BENCH_PR8.json]
+//	         [-runs R] [-spill-dir DIR] [-out BENCH_PR9.json]
 //
 // Three kernels are timed:
 //
@@ -24,6 +24,14 @@
 //     path, "out_of_core" the same plan lowered against spill files
 //   - mcl: MLR-MCL clustering of the symmetrized graph (mmap mode reads
 //     the symmetrized matrix from a mapped file)
+//
+// A fourth pair measures observability overhead: the dd symmetrization
+// with tracing, metrics, and per-job resource accounting fully armed
+// (a live trace context, a meter registry, a JobStats accumulator and
+// a stage timer — exactly what symclusterd installs per request)
+// versus all of it disabled. The report's tracing_overhead_pct field
+// is the median-over-median delta, the measured form of the "tracing
+// costs ≤2%" claim.
 //
 // Every mode's result is checked bit-identical to its baseline twin
 // before a number is reported, and every row records the cumulative
@@ -48,6 +56,7 @@ import (
 	"symcluster/internal/csr"
 	"symcluster/internal/graph"
 	"symcluster/internal/matrix"
+	"symcluster/internal/obs"
 )
 
 // result is one benchmark line of the JSON artifact.
@@ -73,6 +82,11 @@ type report struct {
 	// was verified bit-identical to its baseline twin before timing was
 	// trusted.
 	IdenticalResults bool `json:"identical_results"`
+	// TracingOverheadPct is the median wall-clock cost of running the
+	// dd symmetrization with tracing, metrics, and job accounting armed
+	// relative to all of it disabled, in percent (may be slightly
+	// negative under timer noise).
+	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
 }
 
 func main() {
@@ -82,7 +96,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.001, "product prune threshold")
 	runs := flag.Int("runs", 3, "timed repetitions per benchmark (median reported)")
 	spillDir := flag.String("spill-dir", "", "out-of-core scratch directory (empty: OS temp)")
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	flag.Parse()
 
 	if err := run(*nodes, *degree, *seed, *threshold, *runs, *spillDir, *out); err != nil {
@@ -310,6 +324,47 @@ func run(nodes, degree int, seed uint64, threshold float64, runs int, spillDir, 
 		return fmt.Errorf("out-of-core symmetrization differs: %w", err)
 	}
 	add("symmetrize_dd", "out_of_core", med, min, alloc)
+
+	// --- tracing: dd symmetrization with observability armed vs off. ---
+	// The armed run installs everything symclusterd threads through a
+	// request context: a live trace with a root span, a meter registry,
+	// a JobStats accumulator, and a stage timer around the call.
+	var offMed float64
+	var uOff *graph.Undirected
+	med, min, alloc, err = timed(runs, func() error {
+		uOff, err = core.SymmetrizeCtx(ctx, g, core.DegreeDiscounted, opt)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("symmetrize tracing-off: %w", err)
+	}
+	offMed = med
+	add("symmetrize_dd_obs", "disabled", med, min, alloc)
+
+	sink := obs.NewTraceSink(nil, 4)
+	reg := obs.NewRegistry()
+	var uOn *graph.Undirected
+	med, min, alloc, err = timed(runs, func() error {
+		tr := obs.NewTrace()
+		tctx := obs.WithMeter(ctx, reg)
+		tctx = obs.WithJobStats(tctx, obs.NewJobStats())
+		tctx, root := tr.StartRoot(tctx, "request", obs.A("method", "dd"))
+		done := obs.BeginStage(tctx, "symmetrize")
+		uOn, err = core.SymmetrizeCtx(tctx, g, core.DegreeDiscounted, opt)
+		done()
+		root.EndErr(err)
+		sink.Export(tr)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("symmetrize tracing-on: %w", err)
+	}
+	if err := sameMatrix(uOff.Adj, uOn.Adj); err != nil {
+		return fmt.Errorf("traced symmetrization differs: %w", err)
+	}
+	add("symmetrize_dd_obs", "enabled", med, min, alloc)
+	rep.TracingOverheadPct = 100 * (med - offMed) / offMed
+	fmt.Fprintf(os.Stderr, "symbench: tracing overhead %.2f%%\n", rep.TracingOverheadPct)
 
 	// --- mcl: clustering the symmetrized graph, heap vs mapped input. ---
 	clOpt := symcluster.ClusterOptions{Seed: int64(seed)}

@@ -229,10 +229,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var tr *obs.Trace
 	var root *obs.Span
+	var js *obs.JobStats
 	if *jsonOut || *traceLog != "" {
 		tr = obs.NewTrace()
 		ctx, root = tr.StartRoot(ctx, "run",
 			obs.A("input", *in), obs.A("method", *method), obs.A("algorithm", *algo))
+	}
+	if *jsonOut {
+		// -json embeds the same per-run resource accounting the daemon
+		// journals for async jobs (stage wall/CPU/allocation, spill).
+		js = obs.NewJobStats()
+		ctx = obs.WithJobStats(ctx, js)
 	}
 
 	res, u, trace, err := pipeline.Execute(ctx, g, sym, opt, cl, clOpt)
@@ -309,6 +316,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			SymmetrizeMillis: trace.SymmetrizeMillis,
 			ClusterMillis:    trace.ClusterMillis,
 			Trace:            trace,
+			Stats:            js.Snapshot(),
 			AvgF:             avgF,
 		}
 		if u != nil {

@@ -18,7 +18,8 @@
 //	            [-proxy-timeout D] [-proxy-max-wait D]
 //	            [-preload graph.edges]
 //	            [-log-format json|text] [-log-level LEVEL]
-//	            [-trace-log FILE] [-trace-ring N] [-debug-addr ADDR]
+//	            [-trace-log FILE] [-trace-ring N] [-trace-ring-mb MB]
+//	            [-debug-addr ADDR]
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes,
 // health checks fail, and in-flight work (including async jobs) drains
@@ -54,13 +55,20 @@
 // a dead peer's WAL and resumes its jobs from their checkpoints.
 // -upload-ttl reaps chunked-upload sessions abandoned by their client.
 //
-// Observability (see README.md "Observability" and DESIGN.md §11):
+// Observability (see README.md "Observability" and DESIGN.md §11, §16):
 // logs are structured (JSON by default; -log-format text for humans),
 // every clustering run is traced and exported to the -trace-log JSONL
-// file plus an in-memory ring served by GET /v1/jobs/{id}/trace, and
-// -debug-addr starts a separate listener with net/http/pprof under
+// file plus an in-memory ring (bounded by -trace-ring traces and
+// -trace-ring-mb rendered bytes) served by GET /v1/jobs/{id}/trace,
+// and -debug-addr starts a separate listener with net/http/pprof under
 // /debug/pprof/ — separate so profiling is never exposed on the
-// service port.
+// service port. In cluster mode traces propagate across nodes via a
+// traceparent header on every forwarded hop, so a proxied or adopted
+// job yields one stitched span tree from any node; every job's
+// resource accounting (queue wait, per-stage wall/CPU/allocation,
+// spill and checkpoint bytes) is served at GET /v1/jobs/{id}/stats and
+// survives restarts in the WAL; and GET /v1/cluster/status federates
+// per-node health and key gauges without ever blocking on a dead peer.
 //
 // The SYMCLUSTER_FAULTS environment variable arms deterministic faults
 // at named pipeline sites for chaos drills (see internal/faultinject);
@@ -118,6 +126,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	traceLog := flag.String("trace-log", "", "append one JSON span tree per clustering run to this file")
 	traceRing := flag.Int("trace-ring", 64, "recent traces retained in memory for GET /v1/jobs/{id}/trace")
+	traceRingMB := flag.Int64("trace-ring-mb", 16, "byte cap of the in-memory trace ring in MiB (rendered JSON size); exported as symclusterd_trace_ring_bytes")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
 	flag.Parse()
 
@@ -154,6 +163,9 @@ func main() {
 		sink = obs.NewTraceSink(traceFile, *traceRing)
 	} else {
 		sink = obs.NewTraceSink(nil, *traceRing)
+	}
+	if *traceRingMB > 0 {
+		sink.SetMaxBytes(*traceRingMB << 20)
 	}
 
 	var clusterCfg *server.ClusterConfig

@@ -11,7 +11,21 @@ import (
 	"time"
 
 	"symcluster/internal/faultinject"
+	"symcluster/internal/obs"
 )
+
+// ForwardHeader marks a request as already forwarded once: the
+// receiving node must answer it itself rather than proxy again, so a
+// stale ring can never bounce a request in a loop. Its value is the
+// forwarding node's name. Like the traceparent header it is set only
+// here in internal/cluster (enforced by `make lint`); servers read it
+// freely.
+const ForwardHeader = "X-Symclusterd-Forwarded"
+
+// MarkForwarded stamps h with the one-hop forwarding marker.
+func MarkForwarded(h http.Header, self string) {
+	h.Set(ForwardHeader, self)
+}
 
 // Client is the retrying HTTP client every inter-node hop (and the
 // CLI's -server mode) goes through. Each request gets up to
@@ -232,6 +246,13 @@ func (c *Client) attempt(ctx context.Context, method, url string, header http.He
 	req.ContentLength = contentLength
 	for k, vs := range header {
 		req.Header[k] = append([]string(nil), vs...)
+	}
+	// Trace propagation: every hop through this client carries the
+	// caller's current span as a traceparent-style header, so the peer
+	// joins the same trace instead of starting a disconnected one. This
+	// client is the single injection point (enforced by `make lint`).
+	if tid, sid, ok := obs.SpanContext(ctx); ok && req.Header.Get(obs.TraceparentHeader) == "" {
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tid, sid))
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

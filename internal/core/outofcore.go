@@ -9,6 +9,7 @@ import (
 
 	"symcluster/internal/csr"
 	"symcluster/internal/matrix"
+	"symcluster/internal/obs"
 )
 
 // Out-of-core symmetrization: the same plans as the in-core path
@@ -69,6 +70,7 @@ type oocState struct {
 	a        *matrix.CSR // mapped view of the (possibly augmented) input
 	maps     []*csr.Mapped
 	resident int64
+	js       *obs.JobStats // per-job accounting from the run's context (may be nil)
 }
 
 func newOOCState(ctx context.Context, a *matrix.CSR, cfg *OutOfCoreConfig) (*oocState, error) {
@@ -76,7 +78,7 @@ func newOOCState(ctx context.Context, a *matrix.CSR, cfg *OutOfCoreConfig) (*ooc
 	if err != nil {
 		return nil, fmt.Errorf("core: out-of-core scratch: %w", err)
 	}
-	s := &oocState{cfg: cfg, scratch: scratch}
+	s := &oocState{cfg: cfg, scratch: scratch, js: obs.JobStatsFrom(ctx)}
 	input := cfg.InputPath
 	if input == "" {
 		input = s.path("input.csr")
@@ -117,9 +119,11 @@ func (s *oocState) close() {
 	os.RemoveAll(s.scratch)
 }
 
-// charge meters bytes of heap-resident intermediates.
+// charge meters bytes of heap-resident intermediates, recording the
+// high-water mark into the job's resource accounting.
 func (s *oocState) charge(bytes int64) error {
 	s.resident += bytes
+	s.js.ObserveResident(s.resident)
 	if s.cfg.MaxResidentBytes > 0 && s.resident > s.cfg.MaxResidentBytes {
 		return fmt.Errorf("%w: %d bytes of in-memory intermediates over the %d-byte budget; raise the budget or the prune threshold", ErrResidentBudget, s.resident, s.cfg.MaxResidentBytes)
 	}

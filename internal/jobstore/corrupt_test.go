@@ -38,7 +38,7 @@ func walImage(t *testing.T) (string, []byte) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
 	createJob(t, s, "job-000001", "k1")
-	if err := s.Finish("job-000001", Done, nil, "", time.Unix(1001, 0)); err != nil {
+	if err := s.Finish("job-000001", Done, nil, "", nil, time.Unix(1001, 0)); err != nil {
 		t.Fatal(err)
 	}
 	createJob(t, s, "job-000002", "k2")
@@ -149,7 +149,7 @@ func TestMidRunAppendCrashChaos(t *testing.T) {
 	// Panic on the SECOND append from now: the Start lands, the Finish
 	// "crashes the process".
 	faultinject.Set("jobstore.append", faultinject.Fault{Mode: faultinject.Panic, Skip: 1})
-	if err := s.Start("job-000001", time.Unix(1001, 0)); err != nil {
+	if err := s.Start("job-000001", "", time.Unix(1001, 0)); err != nil {
 		t.Fatal(err)
 	}
 	func() {
@@ -158,7 +158,7 @@ func TestMidRunAppendCrashChaos(t *testing.T) {
 				t.Fatal("injected panic did not fire")
 			}
 		}()
-		s.Finish("job-000001", Done, nil, "", time.Unix(1002, 0))
+		s.Finish("job-000001", Done, nil, "", nil, time.Unix(1002, 0))
 	}()
 	faultinject.Clear("jobstore.append")
 	s.Close()

@@ -89,6 +89,18 @@ type JobRecord struct {
 	Created  time.Time       `json:"created"`
 	Started  time.Time       `json:"started,omitempty"`
 	Finished time.Time       `json:"finished,omitempty"`
+	// TraceID is the distributed-trace id the job ran (or is running)
+	// under, journaled at start. A surviving node that adopts this job
+	// after a crash records it as the adopted run's trace link, so the
+	// new trace still points back at the original lineage.
+	TraceID string `json:"trace_id,omitempty"`
+	// LinkTraceID is the originating trace of an adopted job (the dead
+	// owner's TraceID), carried so the link survives adopter restarts.
+	LinkTraceID string `json:"link_trace_id,omitempty"`
+	// Stats is the job's resource accounting (obs.JobStatsSnapshot
+	// JSON), journaled at finish so per-job cost attribution survives
+	// restarts alongside the result.
+	Stats json.RawMessage `json:"stats,omitempty"`
 	// Checkpoints holds the latest checkpoint per kernel for a job that
 	// has not finished; cleared on finish.
 	Checkpoints map[string]Checkpoint `json:"checkpoints,omitempty"`
@@ -109,6 +121,9 @@ type record struct {
 	State  State           `json:"state,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Err    string          `json:"err,omitempty"`
+	// Trace rides the start op; Stats rides the finish op.
+	Trace string          `json:"trace,omitempty"`
+	Stats json.RawMessage `json:"stats,omitempty"`
 }
 
 // Store is the WAL-backed job store. All methods are safe for
@@ -204,6 +219,9 @@ func (s *Store) applyLocked(rec *record) {
 		if j := s.jobs[rec.ID]; j != nil {
 			j.State = Running
 			j.Started = rec.Time
+			if rec.Trace != "" {
+				j.TraceID = rec.Trace
+			}
 		}
 	case "requeue":
 		if j := s.jobs[rec.ID]; j != nil {
@@ -222,6 +240,7 @@ func (s *Store) applyLocked(rec *record) {
 			j.State = rec.State
 			j.Result = rec.Result
 			j.Err = rec.Err
+			j.Stats = rec.Stats
 			j.Finished = rec.Time
 			j.Checkpoints = nil // resumable state is dead weight now
 		}
@@ -279,11 +298,13 @@ func (s *Store) Create(j *JobRecord) error {
 	return s.appendLocked(&record{Op: "create", Job: j})
 }
 
-// Start journals the pending→running transition.
-func (s *Store) Start(id string, t time.Time) error {
+// Start journals the pending→running transition, recording the trace
+// id the run joined (empty is allowed; the last non-empty one wins
+// across requeue/resume cycles).
+func (s *Store) Start(id, traceID string, t time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(&record{Op: "start", ID: id, Time: t})
+	return s.appendLocked(&record{Op: "start", ID: id, Trace: traceID, Time: t})
 }
 
 // Requeue journals a preempted job going back to pending (graceful
@@ -304,12 +325,13 @@ func (s *Store) SaveCheckpoint(id, kernel string, ck Checkpoint) error {
 }
 
 // Finish journals the terminal state of a job (done/failed/canceled)
-// with its result or error, then compacts if the log has outgrown its
-// threshold — finishes are where checkpoint weight becomes garbage.
-func (s *Store) Finish(id string, state State, result json.RawMessage, errMsg string, t time.Time) error {
+// with its result or error and its resource-accounting snapshot, then
+// compacts if the log has outgrown its threshold — finishes are where
+// checkpoint weight becomes garbage.
+func (s *Store) Finish(id string, state State, result json.RawMessage, errMsg string, stats json.RawMessage, t time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.appendLocked(&record{Op: "finish", ID: id, State: state, Result: result, Err: errMsg, Time: t}); err != nil {
+	if err := s.appendLocked(&record{Op: "finish", ID: id, State: state, Result: result, Err: errMsg, Stats: stats, Time: t}); err != nil {
 		return err
 	}
 	return s.maybeCompactLocked()

@@ -39,14 +39,14 @@ func TestReplayRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
 	createJob(t, s, "job-000001", "k1")
-	if err := s.Start("job-000001", time.Unix(1001, 0)); err != nil {
+	if err := s.Start("job-000001", "", time.Unix(1001, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SaveCheckpoint("job-000001", "mcl", Checkpoint{Seq: 1, Iter: 7, Blob: []byte("flow")}); err != nil {
 		t.Fatal(err)
 	}
 	createJob(t, s, "job-000002", "")
-	if err := s.Finish("job-000002", Done, json.RawMessage(`{"k":3}`), "", time.Unix(1002, 0)); err != nil {
+	if err := s.Finish("job-000002", Done, json.RawMessage(`{"k":3}`), "", nil, time.Unix(1002, 0)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -90,7 +90,7 @@ func TestTornTailTruncation(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
 	createJob(t, s, "job-000001", "")
-	if err := s.Start("job-000001", time.Unix(1001, 0)); err != nil {
+	if err := s.Start("job-000001", "", time.Unix(1001, 0)); err != nil {
 		t.Fatal(err)
 	}
 	walPath := filepath.Join(dir, "wal")
@@ -169,11 +169,11 @@ func TestCompactionShrinksAndPreservesState(t *testing.T) {
 	for i := 1; i <= 20; i++ {
 		id := fmt.Sprintf("job-%06d", i)
 		createJob(t, s, id, "")
-		if err := s.Start(id, time.Unix(int64(1000+i), 0)); err != nil {
+		if err := s.Start(id, "", time.Unix(int64(1000+i), 0)); err != nil {
 			t.Fatal(err)
 		}
 		if i%2 == 0 {
-			if err := s.Finish(id, Done, json.RawMessage(`{"k":1}`), "", time.Unix(int64(2000+i), 0)); err != nil {
+			if err := s.Finish(id, Done, json.RawMessage(`{"k":1}`), "", nil, time.Unix(int64(2000+i), 0)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -225,7 +225,7 @@ func TestAutoCompactionOnThreshold(t *testing.T) {
 	for i := 1; i <= 50; i++ {
 		id := fmt.Sprintf("job-%06d", i)
 		createJob(t, s, id, "")
-		if err := s.Finish(id, Done, nil, "", time.Unix(int64(2000+i), 0)); err != nil {
+		if err := s.Finish(id, Done, nil, "", nil, time.Unix(int64(2000+i), 0)); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Drop(id); err != nil {
@@ -247,7 +247,7 @@ func TestFaultInjectAppendAndCompact(t *testing.T) {
 	createJob(t, s, "job-000001", "")
 
 	faultinject.Set("jobstore.append", faultinject.Fault{Mode: faultinject.Error})
-	if err := s.Start("job-000001", time.Unix(1001, 0)); err == nil {
+	if err := s.Start("job-000001", "", time.Unix(1001, 0)); err == nil {
 		t.Fatal("injected append fault not surfaced")
 	}
 	faultinject.Clear("jobstore.append")

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// ProcessCPUTime is unavailable off unix; JobStats CPU columns read 0.
+func ProcessCPUTime() time.Duration { return 0 }

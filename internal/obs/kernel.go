@@ -57,8 +57,10 @@ func ObserveWalkRun(ctx context.Context, iterations int) {
 }
 
 // ObserveCheckpoint records the serialized size of one kernel
-// checkpoint snapshot, labeled by kernel ("mcl", "walk").
+// checkpoint snapshot, labeled by kernel ("mcl", "walk"), and charges
+// it to the job's resource accounting.
 func ObserveCheckpoint(ctx context.Context, kernel string, bytes int) {
+	JobStatsFrom(ctx).AddCheckpointBytes(int64(bytes))
 	if m := Meter(ctx); m != nil {
 		m.Histogram("symcluster_checkpoint_bytes", "Serialized checkpoint snapshot size in bytes.", SizeBuckets, "kernel").Observe(float64(bytes), kernel)
 	}
@@ -106,8 +108,11 @@ func ObserveSymmetrize(ctx context.Context, method string, nnzIn, nnzOut int, pr
 }
 
 // ObserveCSRWrite records the on-disk size of one binary CSR file
-// written by the csr package (tmp + fsync + rename completed).
+// written by the csr package (tmp + fsync + rename completed). When a
+// job's accounting is installed the bytes count as spill (out-of-core
+// intermediates are CSR files written on the job's behalf).
 func ObserveCSRWrite(ctx context.Context, bytes int64) {
+	JobStatsFrom(ctx).AddSpillBytes(bytes)
 	if m := Meter(ctx); m != nil {
 		m.Histogram("symcluster_csr_write_bytes", "Binary CSR file bytes written per csr.Writer.Close.", SizeBuckets).Observe(float64(bytes))
 	}
@@ -123,8 +128,11 @@ func ObserveCSRMap(ctx context.Context, bytes int64) {
 
 // ObserveCSRIngest records one finished streaming ingestion: how many
 // sorted runs spilled to disk and how many bytes flowed through the
-// k-way merge.
+// k-way merge (charged to the job's spill accounting when installed).
 func ObserveCSRIngest(ctx context.Context, spillRuns, mergedBytes int64) {
+	if spillRuns > 0 {
+		JobStatsFrom(ctx).AddSpillBytes(mergedBytes)
+	}
 	m := Meter(ctx)
 	if m == nil {
 		return

@@ -39,6 +39,8 @@ const (
 	meterKey
 	spanKey
 	pruneKey
+	seedKey
+	jobStatsKey
 )
 
 // NewLogger builds a slog.Logger writing to w. format selects the

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	// Trace ids contain dashes ("t-<base>-<seq>"); wire span ids never
+	// do, so the parse must split from the right.
+	traceID := NewTraceID()
+	if !strings.HasPrefix(traceID, "t-") {
+		t.Fatalf("trace id %q", traceID)
+	}
+	v := FormatTraceparent(traceID, "abc123.4")
+	gotTrace, gotSpan, ok := ParseTraceparent(v)
+	if !ok || gotTrace != traceID || gotSpan != "abc123.4" {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", v, gotTrace, gotSpan, ok)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00",
+		"01-t-aa-bb-span-01",   // wrong version
+		"00-t-aa-bb-span-0100", // flags must be two chars
+		"00--span-01",          // empty trace id
+		"garbage",
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestNewTraceFromJoinsSeed(t *testing.T) {
+	seed := TraceSeed{TraceID: "t-entry-1", ParentSpanID: "seg0.1", LinkTraceID: "t-dead-7"}
+	ctx := WithTraceSeed(context.Background(), seed)
+
+	tr := NewTraceFrom(ctx)
+	if tr.ID() != seed.TraceID {
+		t.Fatalf("joined trace id %q, want %q", tr.ID(), seed.TraceID)
+	}
+	sctx, root := tr.StartRoot(ctx, "request")
+	_, span := StartSpan(sctx, "stage")
+	span.End()
+	root.End()
+
+	tree := tr.Tree()
+	if tree.TraceID != seed.TraceID {
+		t.Fatalf("root TraceID %q, want %q", tree.TraceID, seed.TraceID)
+	}
+	if tree.ParentSpanID != seed.ParentSpanID {
+		t.Fatalf("root ParentSpanID %q, want remote parent %q", tree.ParentSpanID, seed.ParentSpanID)
+	}
+	if got := tree.Attrs["link_trace_id"]; got != seed.LinkTraceID {
+		t.Fatalf("root link_trace_id attr = %v, want %q", got, seed.LinkTraceID)
+	}
+
+	// No seed installed: identical to NewTrace — fresh id, no remote
+	// parent, no link.
+	fresh := NewTraceFrom(context.Background())
+	if fresh.ID() == seed.TraceID || fresh.ID() == "" {
+		t.Fatalf("unseeded trace id %q", fresh.ID())
+	}
+	_, r2 := fresh.StartRoot(context.Background(), "request")
+	r2.End()
+	if tree2 := fresh.Tree(); tree2.ParentSpanID != "" || tree2.Attrs["link_trace_id"] != nil {
+		t.Fatalf("unseeded tree carries propagation state: %+v", tree2)
+	}
+}
+
+// TestMergeSegmentsStitchesCrossNodeTrace simulates the proxy hop: the
+// entry node's segment holds the "proxy" span, the owner joins via the
+// seed carrying that span's wire id, and MergeSegments reattaches the
+// owner's segment beneath it.
+func TestMergeSegmentsStitchesCrossNodeTrace(t *testing.T) {
+	entry := NewTrace()
+	ectx, proxy := entry.StartRoot(context.Background(), "proxy")
+	traceID, parentSpan, ok := SpanContext(ectx)
+	if !ok || traceID != entry.ID() {
+		t.Fatalf("SpanContext = %q, %q, %v", traceID, parentSpan, ok)
+	}
+	proxy.End()
+
+	// The owner parses the traceparent into a seed and joins.
+	ownerCtx := WithTraceSeed(context.Background(), TraceSeed{TraceID: traceID, ParentSpanID: parentSpan})
+	owner := NewTraceFrom(ownerCtx)
+	octx, req := owner.StartRoot(ownerCtx, "request")
+	_, stage := StartSpan(octx, "cluster")
+	stage.End()
+	req.End()
+
+	merged := MergeSegments([]*SpanNode{owner.Tree(), entry.Tree()})
+	if merged.Name != "proxy" {
+		t.Fatalf("merged root %q, want the entry segment's proxy span", merged.Name)
+	}
+	if len(merged.Children) != 1 || merged.Children[0].Name != "request" {
+		t.Fatalf("owner segment not nested under proxy: %+v", merged)
+	}
+	if merged.Children[0].TraceID != merged.TraceID {
+		t.Fatalf("stitched tree spans two trace ids: %q vs %q", merged.Children[0].TraceID, merged.TraceID)
+	}
+
+	// A segment whose parent span is gone (evicted ring, dead peer)
+	// still surfaces: attached under the root, ParentSpanID visible.
+	orphanT := NewTraceFrom(WithTraceSeed(context.Background(),
+		TraceSeed{TraceID: traceID, ParentSpanID: "gone.99"}))
+	_, o := orphanT.StartRoot(context.Background(), "orphan")
+	o.End()
+	merged = MergeSegments([]*SpanNode{entry.Tree(), orphanT.Tree()})
+	var found *SpanNode
+	for _, c := range merged.Children {
+		if c.Name == "orphan" {
+			found = c
+		}
+	}
+	if found == nil || found.ParentSpanID != "gone.99" {
+		t.Fatalf("orphan segment lost: %+v", merged)
+	}
+
+	if MergeSegments(nil) != nil {
+		t.Fatal("MergeSegments(nil) != nil")
+	}
+	single := entry.Tree()
+	if MergeSegments([]*SpanNode{nil, single}) != single {
+		t.Fatal("single segment must be returned as-is")
+	}
+}
+
+func TestTraceSinkByteCap(t *testing.T) {
+	sink := NewTraceSink(nil, 100)
+	export := func(name string) {
+		tr := NewTrace()
+		_, root := tr.StartRoot(context.Background(), name, A("pad", strings.Repeat("x", 256)))
+		root.End()
+		sink.Export(tr)
+	}
+	for i := 0; i < 8; i++ {
+		export("t")
+	}
+	if got := sink.RingBytes(); got <= 0 {
+		t.Fatalf("RingBytes = %d after 8 exports", got)
+	}
+	if n := len(sink.Recent()); n != 8 {
+		t.Fatalf("retained %d traces, want 8 (count cap 100)", n)
+	}
+
+	// Shrinking the byte cap evicts oldest-first down to the cap — but
+	// never below one retained trace.
+	sink.SetMaxBytes(1)
+	if n := len(sink.Recent()); n != 1 {
+		t.Fatalf("retained %d traces after 1-byte cap, want the newest only", n)
+	}
+	export("after")
+	recent := sink.Recent()
+	if len(recent) != 1 || recent[0].Name != "after" {
+		t.Fatalf("ring after export under tiny cap: %+v", recent)
+	}
+	if sink.Exported() != 9 {
+		t.Fatalf("Exported = %d, want 9 (eviction does not undo the count)", sink.Exported())
+	}
+}
+
+func TestTraceSinkByTraceID(t *testing.T) {
+	sink := NewTraceSink(nil, 10)
+	tr := NewTrace()
+	_, root := tr.StartRoot(context.Background(), "mine")
+	root.End()
+	sink.Export(tr)
+	other := NewTrace()
+	_, root2 := other.StartRoot(context.Background(), "other")
+	root2.End()
+	sink.Export(other)
+
+	segs := sink.ByTraceID(tr.ID())
+	if len(segs) != 1 || segs[0].Name != "mine" {
+		t.Fatalf("ByTraceID(%q) = %+v", tr.ID(), segs)
+	}
+	if segs := sink.ByTraceID("t-nope"); len(segs) != 0 {
+		t.Fatalf("ByTraceID miss returned %+v", segs)
+	}
+}
+
+func TestJobStatsNilSafety(t *testing.T) {
+	var js *JobStats
+	js.SetQueueWait(time.Second)
+	js.AddStage("x", time.Second, time.Second, 1)
+	js.AddCache(true)
+	js.AddSpillBytes(1)
+	js.AddCheckpointBytes(1)
+	js.ObserveResident(1)
+	if js.Snapshot() != nil {
+		t.Fatal("nil JobStats must snapshot to nil")
+	}
+	// A context with no accumulator yields nil and a no-op stage.
+	if JobStatsFrom(context.Background()) != nil {
+		t.Fatal("empty context must carry no JobStats")
+	}
+	BeginStage(context.Background(), "x")()
+}
+
+func TestJobStatsAccumulation(t *testing.T) {
+	js := NewJobStats()
+	js.SetQueueWait(1500 * time.Microsecond)
+	js.AddStage("cluster", 10*time.Millisecond, 4*time.Millisecond, 100)
+	js.AddStage("cluster", 10*time.Millisecond, 2*time.Millisecond, 50) // resume accumulates
+	js.AddStage("cluster", 0, 0, -5)                                    // negative alloc deltas are noise, dropped
+	js.AddCache(true)
+	js.AddCache(false)
+	js.AddSpillBytes(64)
+	js.AddSpillBytes(-1)
+	js.AddCheckpointBytes(32)
+	js.ObserveResident(100)
+	js.ObserveResident(40) // below the high-water mark
+
+	s := js.Snapshot()
+	if s.QueueWaitMillis != 1.5 {
+		t.Fatalf("QueueWaitMillis = %v", s.QueueWaitMillis)
+	}
+	cl := s.Stages["cluster"]
+	if cl.WallMillis != 20 || cl.CPUMillis != 6 || cl.AllocBytes != 150 {
+		t.Fatalf("cluster stage = %+v", cl)
+	}
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("cache = %d/%d", s.CacheHits, s.CacheMisses)
+	}
+	if s.SpillBytes != 64 || s.CheckpointBytes != 32 || s.OOCResidentPeakBytes != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+
+	// Snapshot is a deep copy: mutating the accumulator afterwards must
+	// not reach through.
+	js.AddStage("cluster", time.Millisecond, 0, 0)
+	if s.Stages["cluster"].WallMillis != 20 {
+		t.Fatal("snapshot aliases the live stage map")
+	}
+}
+
+func TestBeginStageRecordsDeltas(t *testing.T) {
+	js := NewJobStats()
+	ctx := WithJobStats(context.Background(), js)
+	done := BeginStage(ctx, "symmetrize")
+	// Burn a little wall clock and allocation so the deltas are
+	// observable.
+	buf := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		buf = append(buf, make([]byte, 4096))
+	}
+	_ = buf
+	time.Sleep(2 * time.Millisecond)
+	done()
+
+	s := js.Snapshot()
+	st, ok := s.Stages["symmetrize"]
+	if !ok {
+		t.Fatalf("no symmetrize stage: %+v", s)
+	}
+	if st.WallMillis <= 0 {
+		t.Fatalf("WallMillis = %v", st.WallMillis)
+	}
+	if st.AllocBytes <= 0 {
+		t.Fatalf("AllocBytes = %v", st.AllocBytes)
+	}
+}
+
+func TestRuntimeMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r, "symclusterd")
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, name := range []string{
+		"symclusterd_runtime_goroutines",
+		"symclusterd_runtime_heap_inuse_bytes",
+		"symclusterd_runtime_gc_pause_seconds_total",
+		"symclusterd_runtime_open_fds",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Fatalf("no %s sample in exposition:\n%s", name, out)
+		}
+	}
+}

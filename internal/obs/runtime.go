@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+)
+
+// RegisterRuntimeMetrics registers Func-backed Go runtime health series
+// under <prefix>_runtime_*: live goroutines, heap in-use bytes, total
+// GC pause seconds, and open file descriptors. The daemon registers
+// them with prefix "symclusterd"; each callback samples the runtime at
+// scrape time so the gauges are always current.
+func RegisterRuntimeMetrics(r *Registry, prefix string) {
+	r.Func(prefix+"_runtime_goroutines", "Live goroutines.", TypeGauge,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Func(prefix+"_runtime_heap_inuse_bytes", "Bytes in in-use heap spans.", TypeGauge,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	r.Func(prefix+"_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause seconds.", TypeCounter,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	r.Func(prefix+"_runtime_open_fds", "Open file descriptors (0 where /proc is unavailable).", TypeGauge,
+		func() float64 { return float64(OpenFDs()) })
+}
+
+// OpenFDs counts the process's open file descriptors by listing
+// /proc/self/fd, returning 0 on platforms without procfs. The listing
+// itself holds one descriptor, which is excluded.
+func OpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil || len(ents) == 0 {
+		return 0
+	}
+	return len(ents) - 1
+}

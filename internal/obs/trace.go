@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,21 +35,134 @@ var (
 // a CLI run, an async job). Create with NewTrace, begin the root span
 // with StartRoot, and read the finished tree with Tree. A Trace is
 // safe for concurrent use by the spans it owns.
+//
+// A Trace is one *segment* of a possibly distributed trace: when a
+// request hops to a peer node, the receiver joins the same trace id via
+// NewTraceFrom, and each node exports its own segment. Span ids are
+// namespaced by a process-unique segment prefix so segments produced
+// independently on different nodes never collide and can be stitched
+// back into one tree with MergeSegments.
 type Trace struct {
-	id string
+	id  string
+	seg string // process-unique wire-id prefix for this segment's spans
+
+	// remoteParent is the wire span id of the parent span on the sending
+	// node when this segment was joined from a TraceSeed; it surfaces as
+	// the root SpanNode's ParentSpanID so MergeSegments can reattach it.
+	remoteParent string
+	// linkTrace is the trace id of a causally-linked but separate trace
+	// (an adopted job records the dead owner's trace here); it surfaces
+	// as a link_trace_id attribute on the root span.
+	linkTrace string
 
 	mu     sync.Mutex
 	nextID uint64
 	spans  []*Span
 }
 
+// NewTraceID returns a fresh process-unique trace id ("t-…"). Exposed
+// so the daemon can mint the id of an async job's trace before the job
+// runs and journal it alongside the job record.
+func NewTraceID() string {
+	return fmt.Sprintf("t-%012x-%06x", traceBase&0xffffffffffff, traceSeq.Add(1))
+}
+
 // NewTrace returns an empty trace with a process-unique id.
 func NewTrace() *Trace {
-	return &Trace{id: fmt.Sprintf("t-%012x-%06x", traceBase&0xffffffffffff, traceSeq.Add(1))}
+	return &Trace{
+		id:  NewTraceID(),
+		seg: fmt.Sprintf("%012x.%06x", traceBase&0xffffffffffff, traceSeq.Add(1)),
+	}
+}
+
+// TraceSeed carries the cross-node joining state of a distributed
+// trace: the trace id to continue, the wire span id of the remote
+// parent to nest beneath, and optionally a linked trace id (the
+// originating trace of a crash-adopted job).
+type TraceSeed struct {
+	TraceID      string
+	ParentSpanID string
+	LinkTraceID  string
+}
+
+// WithTraceSeed installs seed so a later NewTraceFrom joins it.
+func WithTraceSeed(ctx context.Context, seed TraceSeed) context.Context {
+	return context.WithValue(ctx, seedKey, seed)
+}
+
+// TraceSeedFrom returns the installed seed, if any.
+func TraceSeedFrom(ctx context.Context) (TraceSeed, bool) {
+	seed, ok := ctx.Value(seedKey).(TraceSeed)
+	return seed, ok
+}
+
+// NewTraceFrom returns a new trace segment joined to the context's
+// TraceSeed: it continues the seeded trace id, records the remote
+// parent span so the segment can be stitched beneath it, and carries
+// the linked trace id onto the root span. With no seed installed it is
+// identical to NewTrace.
+func NewTraceFrom(ctx context.Context) *Trace {
+	t := NewTrace()
+	if seed, ok := TraceSeedFrom(ctx); ok {
+		if seed.TraceID != "" {
+			t.id = seed.TraceID
+		}
+		t.remoteParent = seed.ParentSpanID
+		t.linkTrace = seed.LinkTraceID
+	}
+	return t
 }
 
 // ID returns the trace id ("t-…").
 func (t *Trace) ID() string { return t.id }
+
+// wireID renders a span's globally-unique wire id.
+func (t *Trace) wireID(spanID uint64) string {
+	return t.seg + "." + strconv.FormatUint(spanID, 16)
+}
+
+// SpanContext returns the trace id and wire span id of the context's
+// current span, for injecting into an outbound request header. ok is
+// false when no span is active.
+func SpanContext(ctx context.Context) (traceID, spanID string, ok bool) {
+	s, _ := ctx.Value(spanKey).(*Span)
+	if s == nil {
+		return "", "", false
+	}
+	return s.t.id, s.t.wireID(s.id), true
+}
+
+// TraceparentHeader is the header carrying trace propagation state on
+// forwarded and internal peer requests, in a W3C-traceparent-style
+// format (see FormatTraceparent). Only internal/cluster's retrying
+// client may set it; the server middleware parses it.
+const TraceparentHeader = "Traceparent"
+
+// FormatTraceparent renders the propagation header value:
+//
+//	00-<trace id>-<wire span id>-01
+//
+// The trace id may itself contain dashes; the wire span id never does,
+// so ParseTraceparent splits unambiguously from the right.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent parses a FormatTraceparent value. ok is false for
+// anything malformed (wrong version, missing fields), in which case the
+// request simply starts a fresh trace.
+func ParseTraceparent(v string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 || parts[0] != "00" || len(parts[len(parts)-1]) != 2 {
+		return "", "", false
+	}
+	spanID = parts[len(parts)-2]
+	traceID = strings.Join(parts[1:len(parts)-2], "-")
+	if traceID == "" || spanID == "" {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
 
 // start allocates and records a new span. Spans are appended at start
 // time, so Tree's sibling order is span creation order.
@@ -76,6 +192,9 @@ func (t *Trace) StartRoot(ctx context.Context, name string, attrs ...Attr) (cont
 	t.mu.Unlock()
 	if rooted {
 		panic("obs: StartRoot called twice on one trace")
+	}
+	if t.linkTrace != "" {
+		attrs = append(append([]Attr(nil), attrs...), A("link_trace_id", t.linkTrace))
 	}
 	s := t.start(name, 0, attrs)
 	return context.WithValue(ctx, spanKey, s), s
@@ -145,6 +264,12 @@ func (s *Span) EndErr(err error) {
 type SpanNode struct {
 	Name    string `json:"name"`
 	TraceID string `json:"trace_id,omitempty"` // set on the root only
+	// SpanID is the span's globally-unique wire id (segment prefix +
+	// in-trace counter); ParentSpanID is set only on a segment root
+	// whose parent span lives on another node, and is what MergeSegments
+	// matches against SpanID to stitch segments back together.
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// StartUnixNano and EndUnixNano bound the span; EndUnixNano is 0
 	// for a span that never ended (a crashed or leaked stage).
 	StartUnixNano  int64          `json:"start_unix_nano"`
@@ -171,6 +296,7 @@ func (t *Trace) Tree() *SpanNode {
 		s.mu.Lock()
 		n := &SpanNode{
 			Name:          s.name,
+			SpanID:        t.wireID(s.id),
 			StartUnixNano: s.start.UnixNano(),
 		}
 		if !s.end.IsZero() {
@@ -189,6 +315,7 @@ func (t *Trace) Tree() *SpanNode {
 		if s.parent == 0 && root == nil {
 			root = n
 			n.TraceID = t.id
+			n.ParentSpanID = t.remoteParent
 			continue
 		}
 		parent := nodes[s.parent]
@@ -202,25 +329,60 @@ func (t *Trace) Tree() *SpanNode {
 	return root
 }
 
+// DefaultTraceRingBytes caps the bytes a TraceSink retains when the
+// caller does not choose its own cap via SetMaxBytes.
+const DefaultTraceRingBytes = 16 << 20
+
 // TraceSink receives finished traces: each is rendered to its span
 // tree, written as one JSON line to the writer (when one is set), and
 // retained in a bounded ring so the daemon can serve recent traces
-// without any file configured. Safe for concurrent use.
+// without any file configured. The ring is bounded both by trace count
+// and by retained bytes (the rendered JSON size of each tree), so a few
+// enormous traces cannot dominate the heap. Safe for concurrent use.
 type TraceSink struct {
 	mu       sync.Mutex
 	w        io.Writer
-	ring     []*SpanNode
-	next     int
+	maxCount int
+	maxBytes int64
+	entries  []sinkEntry // FIFO, oldest first
+	bytes    int64
 	exported int64
 }
 
+type sinkEntry struct {
+	node  *SpanNode
+	bytes int64
+}
+
 // NewTraceSink builds a sink writing JSONL to w (nil for ring-only)
-// and retaining the last ringSize traces (clamped to at least 1).
+// and retaining the last ringSize traces (clamped to at least 1), up
+// to DefaultTraceRingBytes of rendered JSON.
 func NewTraceSink(w io.Writer, ringSize int) *TraceSink {
 	if ringSize < 1 {
 		ringSize = 1
 	}
-	return &TraceSink{w: w, ring: make([]*SpanNode, 0, ringSize)}
+	return &TraceSink{w: w, maxCount: ringSize, maxBytes: DefaultTraceRingBytes}
+}
+
+// SetMaxBytes overrides the ring's byte cap (clamped to at least 1;
+// the newest trace is always retained even when it alone exceeds the
+// cap, so the ring can never go empty through eviction).
+func (s *TraceSink) SetMaxBytes(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.maxBytes = n
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+func (s *TraceSink) evictLocked() {
+	for len(s.entries) > 1 && (len(s.entries) > s.maxCount || s.bytes > s.maxBytes) {
+		s.bytes -= s.entries[0].bytes
+		s.entries[0] = sinkEntry{}
+		s.entries = s.entries[1:]
+	}
 }
 
 // Export records the trace's span tree. Traces with no spans are
@@ -231,19 +393,21 @@ func (s *TraceSink) Export(t *Trace) {
 	if root == nil {
 		return
 	}
+	var line bytes.Buffer
+	enc := json.NewEncoder(&line)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(root); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: trace sink encode: %v\n", err)
+		line.Reset()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.ring) < cap(s.ring) {
-		s.ring = append(s.ring, root)
-	} else {
-		s.ring[s.next] = root
-		s.next = (s.next + 1) % cap(s.ring)
-	}
+	s.entries = append(s.entries, sinkEntry{node: root, bytes: int64(line.Len())})
+	s.bytes += int64(line.Len())
+	s.evictLocked()
 	s.exported++
-	if s.w != nil {
-		enc := json.NewEncoder(s.w)
-		enc.SetEscapeHTML(false)
-		if err := enc.Encode(root); err != nil {
+	if s.w != nil && line.Len() > 0 {
+		if _, err := s.w.Write(line.Bytes()); err != nil {
 			fmt.Fprintf(os.Stderr, "obs: trace sink write: %v\n", err)
 		}
 	}
@@ -256,14 +420,94 @@ func (s *TraceSink) Exported() int64 {
 	return s.exported
 }
 
+// RingBytes returns the rendered-JSON bytes currently retained in the
+// ring (the symclusterd_trace_ring_bytes gauge).
+func (s *TraceSink) RingBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
 // Recent returns the retained traces, oldest first.
 func (s *TraceSink) Recent() []*SpanNode {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*SpanNode, 0, len(s.ring))
-	if len(s.ring) < cap(s.ring) {
-		return append(out, s.ring...)
+	out := make([]*SpanNode, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.node)
 	}
-	out = append(out, s.ring[s.next:]...)
-	return append(out, s.ring[:s.next]...)
+	return out
+}
+
+// ByTraceID returns the retained segments of one distributed trace,
+// oldest first. Peers call this (via GET /internal/v1/traces/{id}) to
+// collect remote segments for MergeSegments.
+func (s *TraceSink) ByTraceID(id string) []*SpanNode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*SpanNode
+	for _, e := range s.entries {
+		if e.node.TraceID == id {
+			out = append(out, e.node)
+		}
+	}
+	return out
+}
+
+// MergeSegments stitches the segments of one distributed trace into a
+// single tree: a segment whose root's ParentSpanID matches a span in
+// another segment is attached beneath that span; the segment with no
+// remote parent becomes the root. Segments whose parent span is
+// missing (evicted from a peer's ring, or the peer is gone) attach
+// under the root with their ParentSpanID left visible. Returns nil for
+// no segments; a single segment is returned as-is.
+func MergeSegments(segments []*SpanNode) *SpanNode {
+	segs := make([]*SpanNode, 0, len(segments))
+	for _, s := range segments {
+		if s != nil {
+			segs = append(segs, s)
+		}
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	if len(segs) == 1 {
+		return segs[0]
+	}
+	// Index every span of every segment by wire id.
+	byID := make(map[string]*SpanNode)
+	var index func(n *SpanNode)
+	index = func(n *SpanNode) {
+		if n.SpanID != "" {
+			byID[n.SpanID] = n
+		}
+		for _, c := range n.Children {
+			index(c)
+		}
+	}
+	for _, s := range segs {
+		index(s)
+	}
+	var root *SpanNode
+	var orphans []*SpanNode
+	for _, s := range segs {
+		if s.ParentSpanID == "" {
+			if root == nil {
+				root = s
+				continue
+			}
+			orphans = append(orphans, s)
+			continue
+		}
+		if parent := byID[s.ParentSpanID]; parent != nil && parent != s {
+			parent.Children = append(parent.Children, s)
+			continue
+		}
+		orphans = append(orphans, s)
+	}
+	if root == nil {
+		root, orphans = orphans[0], orphans[1:]
+	}
+	root.Children = append(root.Children, orphans...)
+	return root
 }

@@ -442,9 +442,11 @@ func Execute(ctx context.Context, g *graph.Directed, sym Symmetrizer, symOpt Sym
 		}
 		trace.Symmetrizer = sym.Name()
 		symCtx, symSpan := obs.StartSpan(ctx, "symmetrize", obs.A("name", sym.Name()))
+		endStage := obs.BeginStage(ctx, "symmetrize")
 		start := time.Now()
 		var err error
 		u, err = sym.Run(symCtx, g, symOpt)
+		endStage()
 		trace.SymmetrizeMillis = millisSince(start)
 		if err != nil {
 			symSpan.EndErr(err)
@@ -455,8 +457,10 @@ func Execute(ctx context.Context, g *graph.Directed, sym Symmetrizer, symOpt Sym
 		symSpan.End()
 	}
 	clCtx, clSpan := obs.StartSpan(ctx, "cluster", obs.A("name", cl.Name()))
+	endStage := obs.BeginStage(ctx, "cluster")
 	start := time.Now()
 	res, err := cl.Run(clCtx, Input{U: u, G: g}, clOpt)
+	endStage()
 	trace.ClusterMillis = millisSince(start)
 	if err != nil {
 		clSpan.EndErr(err)

@@ -22,6 +22,7 @@ package server
 
 import (
 	symcluster "symcluster"
+	"symcluster/internal/obs"
 )
 
 // ClusterRequest is the body of POST /v1/cluster. Method and Algorithm
@@ -83,6 +84,11 @@ type ClusterResponse struct {
 	// Trace is the registry's per-stage trace: canonical stage names,
 	// wall-clock timings, and the symmetrized edge count.
 	Trace *symcluster.StageTrace `json:"trace,omitempty"`
+	// Stats is the run's resource accounting (queue wait, per-stage
+	// wall/CPU/allocation, cache and spill activity); see
+	// obs.JobStatsSnapshot for the schema. Present on daemon responses
+	// and on cmd/symcluster -json output.
+	Stats *obs.JobStatsSnapshot `json:"stats,omitempty"`
 	// AvgF is the micro-averaged best-match F-score against ground
 	// truth, present only when truth is known (CLI -truth flag).
 	AvgF *float64 `json:"avg_f,omitempty"`
@@ -145,6 +151,55 @@ type JobInfo struct {
 	Error string `json:"error,omitempty"`
 	// DurationMillis is the run time, present for finished jobs.
 	DurationMillis float64 `json:"duration_millis,omitempty"`
+	// TraceID is the distributed trace the job belongs to (assigned at
+	// launch, stable across restarts and adoption); fetch the stitched
+	// span tree from GET /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// LinkTraceID, on a job adopted from a dead peer, is the trace id of
+	// the original run on that peer.
+	LinkTraceID string `json:"link_trace_id,omitempty"`
+}
+
+// NodeStatus is one node's row in the federated cluster status report
+// (GET /v1/cluster/status) and the body of the internal self-report
+// (GET /internal/v1/status). For a node this node could not reach, only
+// Name, State and Error are set — the rest of the row degrades to zero
+// rather than blocking the report.
+type NodeStatus struct {
+	Name string `json:"name"`
+	// State is this node's probe verdict for the row: "up", "down" or
+	// "half-open" ("up" for self).
+	State         string  `json:"state"`
+	Version       string  `json:"version,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	Draining      bool    `json:"draining,omitempty"`
+	// Jobs is the node's async-job census by state.
+	Jobs map[string]int `json:"jobs,omitempty"`
+	// QueueBytes is the summed working-set estimate of queued runs;
+	// QueueDepth the tasks waiting for a worker.
+	QueueBytes int64 `json:"queue_bytes"`
+	QueueDepth int   `json:"queue_depth"`
+	// WALBytes is the current size of the node's job journal (zero
+	// without a data dir).
+	WALBytes int64 `json:"wal_bytes"`
+	// MappedCSRBytes is the bytes of binary CSR files the node has
+	// memory-mapped; TraceRingBytes the rendered bytes retained in its
+	// trace ring.
+	MappedCSRBytes int64 `json:"mapped_csr_bytes"`
+	TraceRingBytes int64 `json:"trace_ring_bytes"`
+	// ShedTotal counts requests shed by the queued-byte watermark;
+	// JobsAdopted the jobs taken over from dead peers' WALs.
+	ShedTotal   int64 `json:"shed_total"`
+	JobsAdopted int64 `json:"jobs_adopted"`
+	// Error carries the fetch failure for degraded rows.
+	Error string `json:"error,omitempty"`
+}
+
+// ClusterStatus is the response of GET /v1/cluster/status: the report's
+// point of view (the node that assembled it) and one row per member.
+type ClusterStatus struct {
+	Self  string       `json:"self,omitempty"`
+	Nodes []NodeStatus `json:"nodes"`
 }
 
 // ErrorResponse is the body of every non-2xx API response.

@@ -166,6 +166,15 @@ func TestClusterFailoverResume(t *testing.T) {
 	if done.Result == nil || len(done.Result.Assign) == 0 {
 		t.Fatal("adopted job finished without assignments")
 	}
+	// The adopted run got a fresh trace, linked back to the dead node's
+	// original trace id (journaled with the start op, so it survived
+	// the crash).
+	if done.LinkTraceID == "" {
+		t.Fatal("adopted job carries no link_trace_id back to the dead run")
+	}
+	if done.TraceID == "" || done.TraceID == done.LinkTraceID {
+		t.Fatalf("adopted trace_id %q must be fresh and distinct from link %q", done.TraceID, done.LinkTraceID)
+	}
 
 	// It resumed from the dead node's checkpoint, not from scratch.
 	_, trace := getBody(t, "http://"+survivorAddr+"/v1/jobs/"+ref.JobID+"/trace")
@@ -175,6 +184,9 @@ func TestClusterFailoverResume(t *testing.T) {
 	}
 	if iter, _ := strconv.Atoi(string(m[1])); iter == 0 {
 		t.Fatalf("resume_iter = 0: the adopted job restarted from scratch\n%s", trace)
+	}
+	if !bytes.Contains(trace, []byte(`"link_trace_id":"`+done.LinkTraceID+`"`)) {
+		t.Fatalf("adopted trace root does not link trace %s:\n%s", done.LinkTraceID, trace)
 	}
 
 	// The survivor accounted for the failover.

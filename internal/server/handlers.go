@@ -161,6 +161,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	// Synchronous runs get per-job resource accounting too: the snapshot
+	// lands in the response's stats block (there is no job record).
+	ctx = obs.WithJobStats(ctx, obs.NewJobStats())
 	wait, err := s.submitJob(ctx, prep.est, func(ctx context.Context) (any, error) { return prep.runner(ctx) })
 	var res any
 	if err == nil {
@@ -192,7 +195,14 @@ func (s *Server) submitJob(ctx context.Context, est int64, fn func(ctx context.C
 			errShed, s.queuedBytes.Load(), max)
 	}
 	s.queuedBytes.Add(est)
-	wait, err := s.pool.SubmitHooked(ctx, fn, func() { s.queuedBytes.Add(-est) })
+	// The dequeue hook is the queue-wait measurement point: it fires the
+	// moment a worker pulls the task, before the run begins.
+	js := obs.JobStatsFrom(ctx)
+	submitted := time.Now()
+	wait, err := s.pool.SubmitHooked(ctx, fn, func() {
+		js.SetQueueWait(time.Since(submitted))
+		s.queuedBytes.Add(-est)
+	})
 	if err != nil {
 		s.queuedBytes.Add(-est)
 		return nil, err
@@ -216,7 +226,7 @@ func (s *Server) startAsyncJob(w http.ResponseWriter, r *http.Request, req *Clus
 	}
 	if !existing {
 		if lerr := s.launchJob(r.Context(), job, prep); lerr != nil {
-			s.jobs.Finish(job.ID, nil, nil, lerr, false)
+			s.jobs.Finish(job.ID, nil, nil, nil, lerr, false)
 			code := httpStatus(lerr)
 			if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
 				w.Header().Set("Retry-After", "1")
@@ -247,8 +257,23 @@ func (s *Server) launchJob(parent context.Context, job *Job, prep *preparedRun) 
 	if prep.checkpointable && s.jobs.Durable() {
 		jobCtx = checkpoint.With(jobCtx, newJobSink(s.jobs, job.ID, s.cfg.CheckpointIters, job.Checkpoints))
 	}
+	// Pin the job's trace identity before it is queued. A proxied submit
+	// already carries the entry node's seed (joined by the middleware);
+	// otherwise mint a fresh id. An adopted job additionally links back
+	// to the dead owner's original trace. The id is journaled with the
+	// start op so it survives restarts and adoption.
+	seed, _ := obs.TraceSeedFrom(jobCtx)
+	if seed.TraceID == "" {
+		seed.TraceID = obs.NewTraceID()
+	}
+	if job.LinkTraceID != "" {
+		seed.LinkTraceID = job.LinkTraceID
+	}
+	jobCtx = obs.WithTraceSeed(jobCtx, seed)
+	js := obs.NewJobStats()
+	jobCtx = obs.WithJobStats(jobCtx, js)
 	wait, err := s.submitJob(jobCtx, prep.est, func(ctx context.Context) (any, error) {
-		if serr := s.jobs.Start(job.ID); serr != nil {
+		if serr := s.jobs.Start(job.ID, seed.TraceID); serr != nil {
 			return nil, fmt.Errorf("journaling start: %w", serr)
 		}
 		return prep.runner(ctx)
@@ -286,7 +311,7 @@ func (s *Server) launchJob(parent context.Context, job *Job, prep *preparedRun) 
 			}
 			return
 		}
-		if ferr := s.jobs.Finish(job.ID, out.Resp, out.Trace, rerr, errors.Is(rerr, context.Canceled)); ferr != nil {
+		if ferr := s.jobs.Finish(job.ID, out.Resp, out.Trace, js.Snapshot(), rerr, errors.Is(rerr, context.Canceled)); ferr != nil {
 			s.log().Error("journaling job outcome", "job", job.ID, "err", ferr)
 		}
 	}()
@@ -299,6 +324,7 @@ func (s *Server) launchJob(parent context.Context, job *Job, prep *preparedRun) 
 type runOutcome struct {
 	Resp  *ClusterResponse
 	Trace *obs.SpanNode
+	Stats *obs.JobStatsSnapshot
 }
 
 // preparedRun is a validated, admitted request ready to submit: the
@@ -409,7 +435,10 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeli
 	if sym != nil {
 		method = sym.Name()
 	}
-	tr := obs.NewTrace()
+	// NewTraceFrom joins whatever identity the context carries: the
+	// entry node's traceparent on a proxied request, the pinned seed of
+	// an async job, or nothing (fresh root trace for a local sync run).
+	tr := obs.NewTraceFrom(ctx)
 	ctx, root := tr.StartRoot(ctx, "request",
 		obs.A("graph_id", rg.info.ID),
 		obs.A("algorithm", cl.Name()),
@@ -419,8 +448,12 @@ func (s *Server) runCluster(ctx context.Context, rg *registeredGraph, sym pipeli
 	root.EndErr(err)
 	out.Trace = tr.Tree()
 	s.traces.Export(tr)
+	if jstats := obs.JobStatsFrom(ctx); jstats != nil {
+		out.Stats = jstats.Snapshot()
+	}
 	if resp != nil {
 		resp.Trace.Spans = out.Trace
+		resp.Stats = out.Stats
 		out.Resp = resp
 	}
 	return out, err
@@ -448,18 +481,22 @@ func (s *Server) runStages(ctx context.Context, rg *registeredGraph, sym pipelin
 			Threshold: opt.Threshold,
 		}
 		symCtx, symSpan := obs.StartSpan(ctx, "symmetrize", obs.A("name", sym.Name()))
+		endStage := obs.BeginStage(ctx, "symmetrize")
 		start := time.Now()
 		u, hit := s.cache.Get(key)
+		obs.JobStatsFrom(ctx).AddCache(hit)
 		if !hit {
 			var err error
 			u, err = sym.Run(symCtx, rg.graph, opt)
 			if err != nil {
+				endStage()
 				symSpan.EndErr(err)
 				return nil, fmt.Errorf("symmetrize: %w", err)
 			}
 			s.cache.Put(key, u)
 			s.metrics.ObserveCacheObject(GraphBytes(u))
 		}
+		endStage()
 		symSpan.SetAttr("cache_hit", hit)
 		symSpan.SetAttr("nnz", u.Adj.NNZ())
 		symSpan.End()
@@ -482,8 +519,10 @@ func (s *Server) runStages(ctx context.Context, rg *registeredGraph, sym pipelin
 	}
 
 	clCtx, clSpan := obs.StartSpan(ctx, "cluster", obs.A("name", cl.Name()))
+	endStage := obs.BeginStage(ctx, "cluster")
 	start := time.Now()
 	res, err := cl.Run(clCtx, in, clOpt)
+	endStage()
 	if err != nil {
 		clSpan.EndErr(err)
 		return nil, fmt.Errorf("cluster: %w", err)
@@ -535,7 +574,14 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no trace yet", job.ID))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Trace)
+	tree := job.Trace
+	// A root with a remote parent is the owner's half of a cross-node
+	// trace (the entry node holds the proxy span): stitch in whatever
+	// segments the peers retain before serving.
+	if s.coord != nil && job.TraceID != "" && tree.ParentSpanID != "" {
+		tree = s.coord.mergeTrace(r.Context(), job.TraceID, tree)
+	}
+	writeJSON(w, http.StatusOK, tree)
 }
 
 // healthzBody is the GET /healthz response. Peers is present only in

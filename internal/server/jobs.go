@@ -50,6 +50,16 @@ type Job struct {
 	// when debugging why it errored). Served by GET /v1/jobs/{id}/trace.
 	// In-memory only: traces do not survive restarts.
 	Trace *obs.SpanNode
+	// TraceID is the distributed-trace id the run joined, journaled at
+	// start so it outlives both the process (WAL) and the node (a peer
+	// adopting this job links its new trace back to this id).
+	TraceID string
+	// LinkTraceID is the dead owner's TraceID for a job this node
+	// adopted; the adopted run's root span carries it as link_trace_id.
+	LinkTraceID string
+	// Stats is the job's resource accounting, journaled at finish so
+	// GET /v1/jobs/{id}/stats answers across restarts.
+	Stats *obs.JobStatsSnapshot
 	// Checkpoints holds the kernel checkpoints replayed from the WAL
 	// for an interrupted job; the job's sink serves them back to the
 	// kernels so the run resumes mid-iteration. Nil for fresh jobs.
@@ -114,12 +124,20 @@ func NewDurableJobStore(retain int, ttl time.Duration, st *jobstore.Store) *JobS
 			Created:        rec.Created,
 			Started:        rec.Started,
 			Finished:       rec.Finished,
+			TraceID:        rec.TraceID,
+			LinkTraceID:    rec.LinkTraceID,
 			Checkpoints:    rec.Checkpoints,
 		}
 		if len(rec.Result) > 0 {
 			var resp ClusterResponse
 			if err := json.Unmarshal(rec.Result, &resp); err == nil {
 				j.Result = &resp
+			}
+		}
+		if len(rec.Stats) > 0 {
+			var stats obs.JobStatsSnapshot
+			if err := json.Unmarshal(rec.Stats, &stats); err == nil {
+				j.Stats = &stats
 			}
 		}
 		s.jobs[j.ID] = j
@@ -250,10 +268,12 @@ func (s *JobStore) Create(idemKey string, request json.RawMessage) (job *Job, ex
 // CreateAdopted registers a pending job taken over from a dead peer's
 // WAL: like Create, but the job starts with the checkpoints carried
 // over from the dead record (persisted in the local journal too, so an
-// adopter restart resumes from the same point). The idempotency key —
-// derived from (dead peer, original id) by the caller — makes
-// re-adoption a lookup instead of a duplicate.
-func (s *JobStore) CreateAdopted(idemKey string, request json.RawMessage, ckpts map[string]jobstore.Checkpoint) (job *Job, existing bool, err error) {
+// adopter restart resumes from the same point) and with the dead run's
+// trace id as its link, so the adopted run's trace points back at the
+// original lineage. The idempotency key — derived from (dead peer,
+// original id) by the caller — makes re-adoption a lookup instead of a
+// duplicate.
+func (s *JobStore) CreateAdopted(idemKey string, request json.RawMessage, ckpts map[string]jobstore.Checkpoint, linkTraceID string) (job *Job, existing bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked()
@@ -268,6 +288,7 @@ func (s *JobStore) CreateAdopted(idemKey string, request json.RawMessage, ckpts 
 		IdempotencyKey: idemKey,
 		Request:        request,
 		Created:        s.now(),
+		LinkTraceID:    linkTraceID,
 		Checkpoints:    ckpts,
 	}
 	if s.st != nil {
@@ -277,6 +298,7 @@ func (s *JobStore) CreateAdopted(idemKey string, request json.RawMessage, ckpts 
 			IdempotencyKey: idemKey,
 			Request:        request,
 			Created:        j.Created,
+			LinkTraceID:    linkTraceID,
 			Checkpoints:    ckpts,
 		}
 		if err := s.st.Create(rec); err != nil {
@@ -306,8 +328,10 @@ func (s *JobStore) LookupByKey(key string) (string, bool) {
 }
 
 // Start transitions a job to running, journal-first: a failed append
-// leaves the job pending so disk never lags memory.
-func (s *JobStore) Start(id string) error {
+// leaves the job pending so disk never lags memory. traceID is the
+// distributed-trace id this run joined; journaling it is what lets a
+// surviving peer link an adopted copy back to the original trace.
+func (s *JobStore) Start(id, traceID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -316,12 +340,15 @@ func (s *JobStore) Start(id string) error {
 	}
 	t := s.now()
 	if s.st != nil {
-		if err := s.st.Start(id, t); err != nil {
+		if err := s.st.Start(id, traceID, t); err != nil {
 			return err
 		}
 	}
 	j.State = JobRunning
 	j.Started = t
+	if traceID != "" {
+		j.TraceID = traceID
+	}
 	return nil
 }
 
@@ -362,11 +389,11 @@ func (s *JobStore) SaveCheckpoint(id, kernel string, ck jobstore.Checkpoint) err
 }
 
 // Finish records the outcome of a job and schedules retention. trace
-// may be nil (a run rejected before it started has no span tree). The
-// journal append is best-effort: clients must see the outcome even if
-// the disk is failing, so the in-memory state is updated regardless
+// and stats may be nil (a run rejected before it started has neither).
+// The journal append is best-effort: clients must see the outcome even
+// if the disk is failing, so the in-memory state is updated regardless
 // and the append error is returned for logging.
-func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNode, err error, canceled bool) error {
+func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNode, stats *obs.JobStatsSnapshot, err error, canceled bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -375,6 +402,9 @@ func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNod
 	}
 	j.Finished = s.now()
 	j.Trace = trace
+	if stats != nil {
+		j.Stats = stats
+	}
 	switch {
 	case canceled:
 		j.State = JobCanceled
@@ -390,11 +420,14 @@ func (s *JobStore) Finish(id string, result *ClusterResponse, trace *obs.SpanNod
 	}
 	var jerr error
 	if s.st != nil {
-		var resJSON json.RawMessage
+		var resJSON, statsJSON json.RawMessage
 		if j.Result != nil {
 			resJSON, _ = json.Marshal(j.Result)
 		}
-		jerr = s.st.Finish(id, jobstore.State(j.State), resJSON, j.Err, j.Finished)
+		if j.Stats != nil {
+			statsJSON, _ = json.Marshal(j.Stats)
+		}
+		jerr = s.st.Finish(id, jobstore.State(j.State), resJSON, j.Err, statsJSON, j.Finished)
 	}
 	s.finished = append(s.finished, id)
 	for len(s.finished) > s.retain {
@@ -459,7 +492,10 @@ func (s *JobStore) PendingJobs() []*Job {
 
 // Info renders a snapshot as the wire JobInfo.
 func (j Job) Info() JobInfo {
-	info := JobInfo{JobID: j.ID, State: string(j.State), Result: j.Result, Error: j.Err}
+	info := JobInfo{
+		JobID: j.ID, State: string(j.State), Result: j.Result, Error: j.Err,
+		TraceID: j.TraceID, LinkTraceID: j.LinkTraceID,
+	}
 	if !j.Finished.IsZero() && !j.Started.IsZero() {
 		info.DurationMillis = float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond)
 	}

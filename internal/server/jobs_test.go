@@ -13,11 +13,11 @@ func TestJobLifecycle(t *testing.T) {
 	if j.State != JobPending || j.ID == "" {
 		t.Fatalf("created job = %+v", j)
 	}
-	s.Start(j.ID)
+	s.Start(j.ID, "")
 	if snap, _ := s.Snapshot(j.ID); snap.State != JobRunning {
 		t.Fatalf("state = %s", snap.State)
 	}
-	s.Finish(j.ID, &ClusterResponse{K: 3}, nil, nil, false)
+	s.Finish(j.ID, &ClusterResponse{K: 3}, nil, nil, nil, false)
 	snap, ok := s.Snapshot(j.ID)
 	if !ok || snap.State != JobDone || snap.Result.K != 3 {
 		t.Fatalf("snapshot = %+v, %v", snap, ok)
@@ -30,14 +30,14 @@ func TestJobLifecycle(t *testing.T) {
 func TestJobFailureAndCancel(t *testing.T) {
 	s := NewJobStore(8, 0)
 	fail, _, _ := s.Create("", nil)
-	s.Start(fail.ID)
-	s.Finish(fail.ID, nil, nil, errors.New("boom"), false)
+	s.Start(fail.ID, "")
+	s.Finish(fail.ID, nil, nil, nil, errors.New("boom"), false)
 	if snap, _ := s.Snapshot(fail.ID); snap.State != JobFailed || snap.Err != "boom" {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 
 	canc, _, _ := s.Create("", nil)
-	s.Finish(canc.ID, nil, nil, errors.New("context canceled"), true)
+	s.Finish(canc.ID, nil, nil, nil, errors.New("context canceled"), true)
 	if snap, _ := s.Snapshot(canc.ID); snap.State != JobCanceled {
 		t.Fatalf("snapshot = %+v", snap)
 	}
@@ -54,8 +54,8 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		j, _, _ := s.Create("", nil)
 		ids = append(ids, j.ID)
-		s.Start(j.ID)
-		s.Finish(j.ID, &ClusterResponse{K: i}, nil, nil, false)
+		s.Start(j.ID, "")
+		s.Finish(j.ID, &ClusterResponse{K: i}, nil, nil, nil, false)
 	}
 	for _, id := range ids[:2] {
 		if _, ok := s.Snapshot(id); ok {
@@ -71,7 +71,7 @@ func TestJobRetentionEvictsOldestFinished(t *testing.T) {
 	live, _, _ := s.Create("", nil)
 	for i := 0; i < 4; i++ {
 		j, _, _ := s.Create("", nil)
-		s.Finish(j.ID, nil, nil, nil, false)
+		s.Finish(j.ID, nil, nil, nil, nil, false)
 	}
 	if _, ok := s.Snapshot(live.ID); !ok {
 		t.Fatal("pending job evicted by retention")
@@ -102,8 +102,8 @@ func TestJobTTLExpiry(t *testing.T) {
 	s.now = func() time.Time { return now }
 
 	j, _, _ := s.Create("", nil)
-	s.Start(j.ID)
-	s.Finish(j.ID, nil, nil, nil, false)
+	s.Start(j.ID, "")
+	s.Finish(j.ID, nil, nil, nil, nil, false)
 
 	// Inside the TTL the finished job is still visible.
 	now = now.Add(59 * time.Second)
@@ -121,7 +121,7 @@ func TestJobTTLExpiry(t *testing.T) {
 
 	// Unfinished jobs are never expired, however old.
 	running, _, _ := s.Create("", nil)
-	s.Start(running.ID)
+	s.Start(running.ID, "")
 	now = now.Add(24 * time.Hour)
 	if _, ok := s.Snapshot(running.ID); !ok {
 		t.Fatal("running job expired")
@@ -136,7 +136,7 @@ func TestJobTTLDisabled(t *testing.T) {
 	s := NewJobStore(10, 0)
 	s.now = func() time.Time { return now }
 	j, _, _ := s.Create("", nil)
-	s.Finish(j.ID, nil, nil, nil, false)
+	s.Finish(j.ID, nil, nil, nil, nil, false)
 	now = now.Add(1000 * time.Hour)
 	if _, ok := s.Snapshot(j.ID); !ok {
 		t.Fatal("job expired with TTL disabled")

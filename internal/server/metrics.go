@@ -74,6 +74,7 @@ func NewMetrics() *Metrics {
 	reg.Gauge("symclusterd_build_info",
 		"Build metadata; the value is always 1.", "version", "go_version").
 		Set(1, obs.Version, runtime.Version())
+	obs.RegisterRuntimeMetrics(reg, "symclusterd")
 	return m
 }
 
@@ -125,6 +126,10 @@ func (m *Metrics) SetPeerUnhealthy(peer string, down bool) {
 // IncJobsAdopted counts one pending job adopted from a dead peer's WAL.
 func (m *Metrics) IncJobsAdopted() { m.jobsAdopted.Inc() }
 
+// JobsAdoptedValue reads the adoption counter back for the cluster
+// status plane.
+func (m *Metrics) JobsAdoptedValue() int64 { return int64(m.jobsAdopted.Value()) }
+
 // IncUploadExpired counts one chunked-upload session reaped by the idle
 // TTL sweeper.
 func (m *Metrics) IncUploadExpired() { m.uploadsExpired.Inc() }
@@ -160,6 +165,7 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 	p("Clustering requests shed by the queued-byte watermark.", "counter", "symclusterd_shed_total", s.shedTotal.Load())
 	p("Clustering jobs admitted on the out-of-core path.", "counter", "symclusterd_ooc_jobs_total", s.oocTotal.Load())
 	p("Bytes of binary CSR files currently memory-mapped.", "gauge", "symclusterd_csr_mapped_bytes", csr.MappedBytes())
+	p("Rendered-JSON bytes retained in the in-memory trace ring.", "gauge", "symclusterd_trace_ring_bytes", s.traces.RingBytes())
 	p("Summed working-set estimate of queued clustering jobs.", "gauge", "symclusterd_queue_bytes", s.queuedBytes.Load())
 	p("Kernel checkpoints journaled to the WAL.", "counter", "symclusterd_checkpoints_total", jobs.CheckpointSaves())
 	p("Interrupted jobs replayed as pending at startup.", "counter", "symclusterd_jobs_replayed_total", jobs.Replayed())

@@ -60,7 +60,17 @@ func (s *Server) instrumented(route string, capped bool, h http.HandlerFunc) htt
 		start := time.Now()
 		reqID := "r-" + strconv.FormatInt(requestSeq.Add(1), 10)
 		log := s.log().With("request_id", reqID, "route", route)
-		ctx := obs.WithLogger(r.Context(), log)
+		ctx := r.Context()
+		// Join a peer's trace: the cluster client stamps every forwarded
+		// and internal hop with a traceparent header; seeding the context
+		// here makes whatever trace this request starts (runCluster, the
+		// CSR receive, an async job) a segment of the sender's trace
+		// rather than a disconnected root.
+		if tid, sid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.WithTraceSeed(ctx, obs.TraceSeed{TraceID: tid, ParentSpanID: sid})
+			log = log.With("trace_id", tid)
+		}
+		ctx = obs.WithLogger(ctx, log)
 		ctx = obs.WithMeter(ctx, s.metrics.Registry())
 		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w}

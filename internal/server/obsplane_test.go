@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"symcluster/internal/obs"
+)
+
+// TestJobStatsEndpoint runs one async job on a single-node server and
+// checks the accounting surfaces: 404 before there is anything, 200
+// with nonzero stage accounting afterwards, and the same snapshot
+// embedded in a synchronous run's response.
+func TestJobStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	info := registerFigure1(t, ts)
+
+	code, _ := httpGet(t, ts.URL+"/v1/jobs/nope/stats")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job stats: status %d, want 404", code)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+		GraphID: info.ID, Method: "dd", Algorithm: "mcl", Seed: 1, Async: true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d", resp.StatusCode)
+	}
+	ref := decode[JobRef](t, resp)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var job JobInfo
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + ref.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job = decode[JobInfo](t, r)
+		if job.State == "done" {
+			break
+		}
+		if job.State == "failed" {
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished (state %s)", job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job.TraceID == "" {
+		t.Fatal("finished job has no trace_id")
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/" + ref.JobID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", r.StatusCode)
+	}
+	stats := decode[*obs.JobStatsSnapshot](t, r)
+	if stats.QueueWaitMillis <= 0 {
+		t.Fatalf("queue_wait_millis = %v, want > 0", stats.QueueWaitMillis)
+	}
+	for _, stage := range []string{"symmetrize", "cluster"} {
+		st, ok := stats.Stages[stage]
+		if !ok || st.WallMillis <= 0 {
+			t.Fatalf("stage %q = %+v, ok=%v", stage, st, ok)
+		}
+	}
+	if stats.CacheHits+stats.CacheMisses == 0 {
+		t.Fatal("no cache lookups recorded")
+	}
+
+	// The synchronous path embeds the same accounting inline.
+	sresp := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+		GraphID: info.ID, Method: "dd", Algorithm: "mcl", Seed: 1,
+	})
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("sync run: status %d", sresp.StatusCode)
+	}
+	cres := decode[ClusterResponse](t, sresp)
+	if cres.Stats == nil || cres.Stats.QueueWaitMillis <= 0 {
+		t.Fatalf("sync response stats = %+v, want embedded queue wait", cres.Stats)
+	}
+	// Second run over the same graph+method hits the symmetrization
+	// cache, and the accounting says so.
+	if cres.Stats.CacheHits < 1 {
+		t.Fatalf("sync rerun cache hits = %d, want >= 1 (stats: %+v)", cres.Stats.CacheHits, cres.Stats)
+	}
+}
+
+// TestClusterStatusSingleNode checks the degenerate federation: a
+// lone node reports exactly its own row.
+func TestClusterStatusSingleNode(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	r, err := http.Get(ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	st := decode[ClusterStatus](t, r)
+	if st.Self != "" {
+		t.Fatalf("single node has no cluster self, got %q", st.Self)
+	}
+	if len(st.Nodes) != 1 {
+		t.Fatalf("nodes = %+v, want exactly one row", st.Nodes)
+	}
+	n := st.Nodes[0]
+	if n.State != "up" || n.Version == "" || n.UptimeSeconds <= 0 {
+		t.Fatalf("self row = %+v", n)
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	return resp.StatusCode, buf[:n]
+}

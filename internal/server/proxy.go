@@ -72,8 +72,10 @@ type ClusterConfig struct {
 }
 
 // forwardHeader marks a request as already forwarded once; receivers
-// always serve it locally (the one-hop loop guard).
-const forwardHeader = "X-Symclusterd-Forwarded"
+// always serve it locally (the one-hop loop guard). The header is
+// defined (and set) in internal/cluster so propagation headers stay in
+// one place; servers only read it.
+const forwardHeader = cluster.ForwardHeader
 
 // internalCSRPath receives a finished binary CSR file from a peer that
 // ingested a graph it does not own (registration or upload finalize on
@@ -218,15 +220,18 @@ func (c *coordinator) noOwner(w http.ResponseWriter, what string) {
 // headers and body verbatim. body is the already-read request body
 // (nil for bodyless methods). The hop is traced as a "proxy" span
 // exported to the server's trace sink, and counted per peer and status
-// in symclusterd_proxy_requests_total.
+// in symclusterd_proxy_requests_total. The cluster client injects the
+// proxy span's traceparent on the hop, so whatever the peer runs —
+// including an async job outliving this request — joins the same trace
+// and GET /v1/jobs/{id}/trace can stitch one tree across both nodes.
 func (c *coordinator) forward(w http.ResponseWriter, r *http.Request, peer *cluster.Peer, body []byte) {
-	tr := obs.NewTrace()
+	tr := obs.NewTraceFrom(r.Context())
 	ctx, span := tr.StartRoot(r.Context(), "proxy",
 		obs.A("peer", peer.Name),
 		obs.A("method", r.Method),
 		obs.A("path", r.URL.Path))
 	hdr := r.Header.Clone()
-	hdr.Set(forwardHeader, c.self.Name)
+	cluster.MarkForwarded(hdr, c.self.Name)
 	hdr.Del("Content-Length") // the client recomputes it per attempt
 	url := peer.URL + r.URL.RequestURI()
 	resp, err := c.client.Do(ctx, r.Method, url, hdr, body)
@@ -426,18 +431,29 @@ func (c *coordinator) handleRegisterGraph(w http.ResponseWriter, r *http.Request
 		writeJSON(w, http.StatusCreated, c.s.RegisterGraph(g))
 		return
 	}
+	// The push hop is traced like a proxy hop: the peer's CSR receive
+	// joins this root via the traceparent the cluster client injects.
+	tr := obs.NewTraceFrom(r.Context())
+	ctx, span := tr.StartRoot(r.Context(), "csr.push",
+		obs.A("graph_id", id), obs.A("peer", owner.Name))
 	dir, err := os.MkdirTemp(c.s.cfg.SpillDir, "symclusterd-push-*")
 	if err != nil {
+		span.EndErr(err)
+		c.s.traces.Export(tr)
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("creating push scratch: %w", err))
 		return
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "graph.csr")
-	if err := csr.WriteMatrix(r.Context(), path, g.Adj); err != nil {
+	if err := csr.WriteMatrix(ctx, path, g.Adj); err != nil {
+		span.EndErr(err)
+		c.s.traces.Export(tr)
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding graph for %s: %w", owner.Name, err))
 		return
 	}
-	info, code, err := c.pushGraph(r.Context(), owner, path)
+	info, code, err := c.pushGraph(ctx, owner, path)
+	span.EndErr(err)
+	c.s.traces.Export(tr)
 	if err != nil {
 		writeError(w, code, err)
 		return
@@ -454,7 +470,7 @@ func (c *coordinator) pushGraph(ctx context.Context, peer *cluster.Peer, path st
 		return GraphInfo{}, http.StatusInternalServerError, fmt.Errorf("pushing graph: %w", err)
 	}
 	hdr := http.Header{}
-	hdr.Set(forwardHeader, c.self.Name)
+	cluster.MarkForwarded(hdr, c.self.Name)
 	hdr.Set("Content-Type", "application/octet-stream")
 	resp, err := c.client.DoStream(ctx, http.MethodPut, peer.URL+internalCSRPath, hdr,
 		func() (io.ReadCloser, error) { return os.Open(path) }, st.Size())
@@ -488,31 +504,45 @@ func (c *coordinator) pushGraph(ctx context.Context, peer *cluster.Peer, path st
 // mis-routed transfer cannot poison the registry.
 func (c *coordinator) handleInternalGraphCSR(w http.ResponseWriter, r *http.Request) {
 	s := c.s
+	// The receive is one segment of the pusher's trace (joined via the
+	// traceparent seeded by the middleware); exporting it here makes the
+	// stitched tree show both halves of the transfer.
+	tr := obs.NewTraceFrom(r.Context())
+	ctx, span := tr.StartRoot(r.Context(), "csr.receive", obs.A("peer", r.Header.Get(forwardHeader)))
+	fail := func(code int, err error) {
+		span.EndErr(err)
+		s.traces.Export(tr)
+		writeError(w, code, err)
+	}
 	dir, err := os.MkdirTemp(s.cfg.SpillDir, "symclusterd-recv-*")
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("creating receive scratch: %w", err))
+		fail(http.StatusInternalServerError, fmt.Errorf("creating receive scratch: %w", err))
 		return
 	}
 	path, err := csr.SaveStream(dir, "graph.csr", r.Body)
 	if err != nil {
 		os.RemoveAll(dir)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("receiving graph: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("receiving graph: %w", err))
 		return
 	}
-	mp, err := csr.Open(r.Context(), path)
+	mp, err := csr.Open(ctx, path)
 	if err != nil {
 		os.RemoveAll(dir)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("validating received graph: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("validating received graph: %w", err))
 		return
 	}
 	g, err := symcluster.NewDirectedGraph(mp.View(), nil)
 	if err != nil {
 		mp.Close()
 		os.RemoveAll(dir)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("wrapping received graph: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("wrapping received graph: %w", err))
 		return
 	}
 	info := s.registerMappedCSR(g, mp, path, dir)
+	span.SetAttr("graph_id", info.ID)
+	span.SetAttr("bytes", mp.Bytes())
+	span.End()
+	s.traces.Export(tr)
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -615,7 +645,10 @@ func (c *coordinator) adoptFrom(dead *cluster.Peer) bool {
 					"job", rec.ID, "graph", req.GraphID, "err", err)
 			}
 		}
-		job, existing, err := s.jobs.CreateAdopted(adoptKey(dead.Name, rec.ID), rec.Request, rec.Checkpoints)
+		// The dead record's trace id (journaled when the job started
+		// there) becomes the adopted run's link: the new trace's root
+		// span carries link_trace_id pointing at the original lineage.
+		job, existing, err := s.jobs.CreateAdopted(adoptKey(dead.Name, rec.ID), rec.Request, rec.Checkpoints, rec.TraceID)
 		if err != nil {
 			s.log().Error("adopting job", "peer", dead.Name, "job", rec.ID, "err", err)
 			continue
@@ -623,7 +656,7 @@ func (c *coordinator) adoptFrom(dead *cluster.Peer) bool {
 		// Fence only after the local copy is durable: a crash between
 		// the two writes double-runs (deterministic, so harmless) rather
 		// than losing the job.
-		if err := st.Finish(rec.ID, jobstore.Canceled, nil, "adopted by "+c.self.Name, time.Now()); err != nil {
+		if err := st.Finish(rec.ID, jobstore.Canceled, nil, "adopted by "+c.self.Name, nil, time.Now()); err != nil {
 			s.log().Error("fencing adopted job", "peer", dead.Name, "job", rec.ID, "err", err)
 		}
 		if existing {

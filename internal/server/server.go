@@ -349,12 +349,12 @@ func (s *Server) resumeJobs(pending []*Job) {
 	for _, job := range pending {
 		var req ClusterRequest
 		if err := json.Unmarshal(job.Request, &req); err != nil {
-			s.jobs.Finish(job.ID, nil, nil, fmt.Errorf("replaying request: %w", err), false)
+			s.jobs.Finish(job.ID, nil, nil, nil, fmt.Errorf("replaying request: %w", err), false)
 			continue
 		}
 		prep, err := s.prepareRun(&req)
 		if err != nil {
-			s.jobs.Finish(job.ID, nil, nil, fmt.Errorf("replaying request: %w", err), false)
+			s.jobs.Finish(job.ID, nil, nil, nil, fmt.Errorf("replaying request: %w", err), false)
 			continue
 		}
 		for {
@@ -399,6 +399,10 @@ func (s *Server) routes() {
 		route("POST /v1/cluster", c.wrapCluster(s.handleCluster))
 		route("GET /v1/jobs/{id}", c.wrapJob(s.handleGetJob))
 		route("GET /v1/jobs/{id}/trace", c.wrapJob(s.handleJobTrace))
+		route("GET /v1/jobs/{id}/stats", c.wrapJob(s.handleJobStats))
+		route("GET /v1/cluster/status", s.handleClusterStatus)
+		route("GET "+internalStatusPath, s.handleInternalStatus)
+		route("GET "+internalTracesPrefix+"{id}", s.handleInternalTraces)
 		s.mux.HandleFunc("PUT "+internalCSRPath,
 			s.instrumentUncapped("PUT "+internalCSRPath, c.handleInternalGraphCSR))
 	} else {
@@ -411,6 +415,8 @@ func (s *Server) routes() {
 		route("POST /v1/cluster", s.handleCluster)
 		route("GET /v1/jobs/{id}", s.handleGetJob)
 		route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+		route("GET /v1/jobs/{id}/stats", s.handleJobStats)
+		route("GET /v1/cluster/status", s.handleClusterStatus)
 	}
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
