@@ -8,7 +8,7 @@
 //	           [-k N] [-alpha A] [-beta B] [-threshold T] [-inflation R]
 //	           [-truth truth.txt] [-seed N] [-stats] [-json]
 //	           [-out-of-core] [-spill-dir DIR]
-//	           [-server URL] [-retries N] [-retry-max-wait D]
+//	           [-server URL] [-retries N] [-retry-max-wait D] [-timeout D]
 //
 // Method and algorithm names come from the pipeline registry: any
 // canonical name or registered alias ("degree-discounted",
@@ -86,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outOfCore := fs.Bool("out-of-core", false, "symmetrize out-of-core: large operands live in memory-mapped files under -spill-dir (bit-identical results, bounded resident memory)")
 	spillDir := fs.String("spill-dir", "", "scratch directory for -out-of-core intermediates and spill runs; empty uses the OS temp dir")
 	serverURL := fs.String("server", "", "run the clustering on this symclusterd instance (http://host:port) instead of locally")
+	timeout := fs.Duration("timeout", 0, "overall run deadline; with -server the remaining budget is stamped on every request so the daemon can fast-fail work that cannot finish in time (0 disables)")
 	retries := fs.Int("retries", 4, "with -server: total attempts when the daemon sheds with 429/503")
 	retryMaxWait := fs.Duration("retry-max-wait", 15*time.Second, "with -server: cap on backoff (and honored Retry-After) between attempts")
 	logLevel := fs.String("log-level", "warn", "minimum log level for structured logs: debug, info, warn, error")
@@ -134,7 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Inflation: *inflation,
 			Seed:      *seed,
 		}
-		return runServer(stdout, stderr, *serverURL, *in, req, *retries, *retryMaxWait, *jsonOut)
+		return runServer(stdout, stderr, *serverURL, *in, req, *retries, *retryMaxWait, *timeout, *jsonOut)
 	}
 
 	if *cpuProfile != "" {
@@ -224,6 +225,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// embeds it, -trace-log appends it as one JSON line. Otherwise the
 	// context carries no trace and every span call is a no-op.
 	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *outOfCore {
 		ctx = symcluster.WithOutOfCore(ctx, symcluster.OutOfCoreConfig{ScratchDir: *spillDir})
 	}
@@ -345,7 +351,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // package's retrying client, so a daemon shedding load (429 with
 // Retry-After, or 503 while a cluster reroutes around a dead shard) is
 // retried with capped jittered backoff instead of failing the run.
-func runServer(stdout, stderr io.Writer, baseURL, in string, req server.ClusterRequest, retries int, maxWait time.Duration, jsonOut bool) int {
+// With -timeout, the context deadline makes the client stamp the
+// remaining budget on every request (X-Symclusterd-Deadline-Ms), so
+// the daemon fast-fails work this caller would never wait for — and
+// the client itself refuses retry sleeps that would outlive the run.
+func runServer(stdout, stderr io.Writer, baseURL, in string, req server.ClusterRequest, retries int, maxWait, timeout time.Duration, jsonOut bool) int {
 	baseURL = strings.TrimRight(baseURL, "/")
 	cli := cluster.NewClient(cluster.ClientConfig{
 		MaxAttempts: retries,
@@ -355,6 +365,11 @@ func runServer(stdout, stderr io.Writer, baseURL, in string, req server.ClusterR
 		},
 	})
 	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
 	data, err := os.ReadFile(in)
 	if err != nil {

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Per-peer circuit breakers. A breaker watches the outcomes of real
+// traffic to one peer and, after FailThreshold consecutive failures
+// (transport errors or shedding statuses), opens: further requests to
+// that peer fail fast with *BreakerOpenError instead of burning an
+// attempt timeout against a node that is down or drowning. After
+// Cooldown the breaker goes half-open and admits exactly one trial
+// request; success closes it, failure re-opens it for another cooldown.
+//
+// The breaker is deliberately distinct from the health prober
+// (health.go): the prober owns ring membership — it decides who OWNS
+// data — while the breaker only decides whether THIS node should spend
+// a connection on a peer right now. A peer can be "up" in the ring
+// (serving its shard fine for others) while this node's breaker to it
+// is open because the last N forwards shed; conversely membership never
+// moves just because a breaker opened.
+
+// BreakerState is one breaker's position in the closed → open →
+// half-open cycle.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts failures.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits one trial request after the cooldown.
+	BreakerHalfOpen
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen
+)
+
+// String renders the state for logs, metrics help text and status rows.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerOpenError is returned (wrapped) by the client when a peer's
+// breaker refuses the request without sending it. RetryAfter is the
+// time until the breaker next admits a trial; servers relay it as a
+// Retry-After header with a 503.
+type BreakerOpenError struct {
+	Peer       string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("cluster: breaker open for peer %s (retry in %s)", e.Peer, e.RetryAfter.Round(time.Millisecond))
+}
+
+// BreakerConfig sizes a BreakerSet. Zero values select the defaults
+// noted on each field.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive-failure count that opens a
+	// breaker (default 5).
+	FailThreshold int
+	// Cooldown is how long an open breaker rejects before going
+	// half-open (default 5s).
+	Cooldown time.Duration
+	// OnChange, when non-nil, is called (outside the lock) on every
+	// state transition — the metrics hook behind
+	// symclusterd_breaker_state.
+	OnChange func(peer string, state BreakerState)
+	// now overrides the clock for deterministic tests.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// BreakerSet holds one breaker per peer, created lazily on first use.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	peers map[string]*breaker
+}
+
+type breaker struct {
+	state      BreakerState
+	consecFail int
+	openedAt   time.Time
+	// trial marks the single in-flight half-open request; further
+	// requests are rejected until its outcome is recorded.
+	trial bool
+}
+
+// NewBreakerSet builds an empty set; breakers appear as peers are used.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), peers: make(map[string]*breaker)}
+}
+
+// Allow reports whether a request to peer may proceed. It returns nil
+// when the breaker is closed or this request won the half-open trial
+// slot, and a *BreakerOpenError otherwise. Every Allow that returns nil
+// MUST be paired with exactly one Record, or a half-open breaker
+// wedges with its trial slot taken.
+func (b *BreakerSet) Allow(peer string) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	br := b.peers[peer]
+	if br == nil {
+		br = &breaker{}
+		b.peers[peer] = br
+	}
+	var changed bool
+	now := b.cfg.now()
+	if br.state == BreakerOpen && now.Sub(br.openedAt) >= b.cfg.Cooldown {
+		br.state = BreakerHalfOpen
+		br.trial = false
+		changed = true
+	}
+	var err error
+	switch br.state {
+	case BreakerClosed:
+	case BreakerHalfOpen:
+		if br.trial {
+			err = &BreakerOpenError{Peer: peer, RetryAfter: b.cfg.Cooldown}
+		} else {
+			br.trial = true
+		}
+	case BreakerOpen:
+		err = &BreakerOpenError{Peer: peer, RetryAfter: b.cfg.Cooldown - now.Sub(br.openedAt)}
+	}
+	b.mu.Unlock()
+	if changed && b.cfg.OnChange != nil {
+		b.cfg.OnChange(peer, BreakerHalfOpen)
+	}
+	return err
+}
+
+// Record feeds one allowed request's outcome back. Success closes a
+// half-open breaker and resets the failure run; failure re-opens a
+// half-open breaker immediately and opens a closed one once the
+// consecutive run reaches FailThreshold.
+func (b *BreakerSet) Record(peer string, ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	br := b.peers[peer]
+	if br == nil {
+		br = &breaker{}
+		b.peers[peer] = br
+	}
+	var to BreakerState = -1
+	if ok {
+		br.consecFail = 0
+		br.trial = false
+		if br.state != BreakerClosed {
+			br.state = BreakerClosed
+			to = BreakerClosed
+		}
+	} else {
+		br.consecFail++
+		br.trial = false
+		if br.state == BreakerHalfOpen || (br.state == BreakerClosed && br.consecFail >= b.cfg.FailThreshold) {
+			br.state = BreakerOpen
+			br.openedAt = b.cfg.now()
+			to = BreakerOpen
+		}
+	}
+	b.mu.Unlock()
+	if to >= 0 && b.cfg.OnChange != nil {
+		b.cfg.OnChange(peer, to)
+	}
+}
+
+// Release frees an Allow'd slot without judging the peer: the attempt
+// died of the caller's own cancellation or deadline, which says nothing
+// about the peer's health. Without this a half-open breaker's trial
+// slot would wedge shut on a caller timeout.
+func (b *BreakerSet) Release(peer string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if br := b.peers[peer]; br != nil {
+		br.trial = false
+	}
+	b.mu.Unlock()
+}
+
+// State returns the breaker's current position for the named peer
+// (closed for peers never seen). An open breaker whose cooldown has
+// elapsed reports half-open, matching what the next Allow would do.
+func (b *BreakerSet) State(peer string) BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.peers[peer]
+	if br == nil {
+		return BreakerClosed
+	}
+	if br.state == BreakerOpen && b.cfg.now().Sub(br.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return br.state
+}
+
+// States snapshots every known peer's state, for the cluster status
+// plane.
+func (b *BreakerSet) States() map[string]BreakerState {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerState, len(b.peers))
+	now := b.cfg.now()
+	for peer, br := range b.peers {
+		st := br.state
+		if st == BreakerOpen && now.Sub(br.openedAt) >= b.cfg.Cooldown {
+			st = BreakerHalfOpen
+		}
+		out[peer] = st
+	}
+	return out
+}

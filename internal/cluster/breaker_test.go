@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func testBreakers(cfg BreakerConfig, clk *fakeClock) *BreakerSet {
+	cfg.now = clk.now
+	return NewBreakerSet(cfg)
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	var changes []string
+	b := testBreakers(BreakerConfig{
+		FailThreshold: 3,
+		Cooldown:      5 * time.Second,
+		OnChange: func(peer string, st BreakerState) {
+			changes = append(changes, peer+"="+st.String())
+		},
+	}, clk)
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow("p1"); err != nil {
+			t.Fatalf("Allow before threshold: %v", err)
+		}
+		b.Record("p1", false)
+	}
+	if st := b.State("p1"); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	b.Record("p1", false) // third consecutive failure trips it
+	if st := b.State("p1"); st != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", st)
+	}
+	err := b.Allow("p1")
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("Allow while open = %v, want *BreakerOpenError", err)
+	}
+	if boe.RetryAfter <= 0 || boe.RetryAfter > 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want within the cooldown", boe.RetryAfter)
+	}
+	if len(changes) != 1 || changes[0] != "p1=open" {
+		t.Fatalf("OnChange calls = %v, want [p1=open]", changes)
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreakers(BreakerConfig{FailThreshold: 1, Cooldown: time.Second}, clk)
+	b.Record("p1", false)
+	if st := b.State("p1"); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if st := b.State("p1"); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	if err := b.Allow("p1"); err != nil {
+		t.Fatalf("half-open trial rejected: %v", err)
+	}
+	// The trial slot is taken: a concurrent caller must wait it out.
+	if err := b.Allow("p1"); err == nil {
+		t.Fatal("second concurrent half-open request admitted")
+	}
+	b.Record("p1", true)
+	if st := b.State("p1"); st != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", st)
+	}
+	if err := b.Allow("p1"); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreakers(BreakerConfig{FailThreshold: 3, Cooldown: time.Second}, clk)
+	for i := 0; i < 3; i++ {
+		b.Record("p1", false)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if err := b.Allow("p1"); err != nil {
+		t.Fatalf("trial rejected: %v", err)
+	}
+	b.Record("p1", false) // one failed trial reopens immediately
+	if st := b.State("p1"); st != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", st)
+	}
+	if err := b.Allow("p1"); err == nil {
+		t.Fatal("reopened breaker admitted a request before the next cooldown")
+	}
+}
+
+func TestBreakerReleaseClearsTrialWithoutJudgment(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreakers(BreakerConfig{FailThreshold: 1, Cooldown: time.Second}, clk)
+	b.Record("p1", false)
+	clk.advance(1100 * time.Millisecond)
+	if err := b.Allow("p1"); err != nil {
+		t.Fatalf("trial rejected: %v", err)
+	}
+	// The caller's own context died mid-trial: neither success nor
+	// failure. Release frees the slot so the next caller can probe.
+	b.Release("p1")
+	if st := b.State("p1"); st != BreakerHalfOpen {
+		t.Fatalf("state after released trial = %v, want half-open", st)
+	}
+	if err := b.Allow("p1"); err != nil {
+		t.Fatalf("trial slot not freed: %v", err)
+	}
+}
+
+func TestBreakerPeersAreIndependent(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreakers(BreakerConfig{FailThreshold: 1, Cooldown: time.Second}, clk)
+	b.Record("bad", false)
+	if err := b.Allow("good"); err != nil {
+		t.Fatalf("healthy peer gated by another peer's breaker: %v", err)
+	}
+	states := b.States()
+	if states["bad"] != BreakerOpen {
+		t.Fatalf("States()[bad] = %v, want open", states["bad"])
+	}
+	if st, ok := states["good"]; ok && st != BreakerClosed {
+		t.Fatalf("States()[good] = %v, want closed", st)
+	}
+}
+
+func TestBreakerNilReceiverIsNoop(t *testing.T) {
+	var b *BreakerSet
+	if err := b.Allow("p"); err != nil {
+		t.Fatalf("nil BreakerSet.Allow = %v", err)
+	}
+	b.Record("p", false)
+	b.Release("p")
+	if st := b.State("p"); st != BreakerClosed {
+		t.Fatalf("nil BreakerSet.State = %v", st)
+	}
+	if states := b.States(); len(states) != 0 {
+		t.Fatalf("nil BreakerSet.States = %v", states)
+	}
+}
+
+func TestRetryBudgetRefillsAndExhausts(t *testing.T) {
+	var exhausted atomic.Int32
+	rb := NewRetryBudget(RetryBudgetConfig{
+		Ratio:       0.5,
+		Burst:       2,
+		OnExhausted: func() { exhausted.Add(1) },
+	})
+	// Seeded at burst: two retries succeed, the third is denied.
+	if !rb.AllowRetry() || !rb.AllowRetry() {
+		t.Fatal("seeded budget denied an affordable retry")
+	}
+	if rb.AllowRetry() {
+		t.Fatal("empty budget granted a retry")
+	}
+	if exhausted.Load() != 1 {
+		t.Fatalf("OnExhausted fired %d times, want 1", exhausted.Load())
+	}
+	// Two requests at ratio 0.5 earn one retry back.
+	rb.RecordRequest()
+	rb.RecordRequest()
+	if !rb.AllowRetry() {
+		t.Fatal("refilled budget denied a retry")
+	}
+	if rb.AllowRetry() {
+		t.Fatal("budget granted more than it earned")
+	}
+}
+
+func TestRetryBudgetCapsAtBurst(t *testing.T) {
+	rb := NewRetryBudget(RetryBudgetConfig{Ratio: 1, Burst: 2})
+	for i := 0; i < 100; i++ {
+		rb.RecordRequest()
+	}
+	if got := rb.Tokens(); got != 2 {
+		t.Fatalf("tokens after heavy traffic = %v, want capped at 2", got)
+	}
+}
+
+func TestRetryBudgetNilIsUnlimited(t *testing.T) {
+	var rb *RetryBudget
+	rb.RecordRequest()
+	for i := 0; i < 50; i++ {
+		if !rb.AllowRetry() {
+			t.Fatal("nil RetryBudget denied a retry")
+		}
+	}
+}
+
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	h := http.Header{}
+	SetDeadlineHeader(h, 1500*time.Millisecond)
+	got, ok := ParseDeadlineHeader(h)
+	if !ok || got != 1500*time.Millisecond {
+		t.Fatalf("round trip = %v, %v; want 1.5s, true", got, ok)
+	}
+	// A budget already spent clamps to zero, not a negative sleep.
+	SetDeadlineHeader(h, -time.Second)
+	got, ok = ParseDeadlineHeader(h)
+	if !ok || got != 0 {
+		t.Fatalf("negative budget = %v, %v; want 0, true", got, ok)
+	}
+}
+
+func TestDeadlineHeaderMalformed(t *testing.T) {
+	for _, v := range []string{"", "abc", "12.5x", "-", "9e99e9"} {
+		h := http.Header{}
+		if v != "" {
+			h.Set(DeadlineHeader, v)
+		}
+		if _, ok := ParseDeadlineHeader(h); ok {
+			t.Fatalf("ParseDeadlineHeader accepted %q", v)
+		}
+	}
+}
+
+func TestClientStampsDeadlineHeader(t *testing.T) {
+	var gotMs atomic.Int64
+	gotMs.Store(-1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if budget, ok := ParseDeadlineHeader(r.Header); ok {
+			gotMs.Store(budget.Milliseconds())
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(ClientConfig{MaxAttempts: 1, HopMargin: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	ms := gotMs.Load()
+	// remaining(≈2000ms) minus the 50ms hop margin, minus scheduling.
+	if ms <= 0 || ms > 1950 {
+		t.Fatalf("propagated budget = %dms, want (0, 1950]", ms)
+	}
+}
+
+func TestClientBreakerFailsFastAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	clk := newFakeClock()
+	breakers := testBreakers(BreakerConfig{FailThreshold: 2, Cooldown: time.Second}, clk)
+	c := NewClient(ClientConfig{MaxAttempts: 1, Breakers: breakers})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		resp, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+		if err != nil {
+			t.Fatalf("Do %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	before := hits.Load()
+	// Breaker open: the next call fails fast without touching the wire.
+	_, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("Do with open breaker = %v, want *BreakerOpenError", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker let a request reach the peer")
+	}
+	// After the cooldown the half-open trial goes through; a healthy
+	// answer closes the breaker again.
+	healthy.Store(true)
+	clk.advance(1100 * time.Millisecond)
+	resp, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do after recovery: %v", err)
+	}
+	resp.Body.Close()
+	if st := breakers.State(peerKey(srv.URL)); st != BreakerClosed {
+		t.Fatalf("breaker after healthy trial = %v, want closed", st)
+	}
+}
+
+func TestClientRetryBudgetStopsRetryStorm(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	rb := NewRetryBudget(RetryBudgetConfig{Ratio: 0.1, Burst: 1})
+	c := NewClient(ClientConfig{
+		MaxAttempts: 10,
+		BaseWait:    time.Millisecond,
+		MaxWait:     time.Millisecond,
+		Jitter:      noJitter,
+		RetryBudget: rb,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.Do(ctx, http.MethodGet, srv.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v (want the shed response relayed)", err)
+	}
+	resp.Body.Close()
+	// One seeded token: the first attempt plus one retry, not ten.
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (budget of 1 retry)", got)
+	}
+}

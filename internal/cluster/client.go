@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -25,6 +26,44 @@ const ForwardHeader = "X-Symclusterd-Forwarded"
 // MarkForwarded stamps h with the one-hop forwarding marker.
 func MarkForwarded(h http.Header, self string) {
 	h.Set(ForwardHeader, self)
+}
+
+// DeadlineHeader carries the caller's remaining time budget, in whole
+// milliseconds, across a hop: "how long are you still willing to wait",
+// not an absolute timestamp, so clock skew between nodes cannot corrupt
+// it. The client stamps it on every attempt from the context deadline
+// (minus HopMargin, reserving time for the reply to travel back);
+// server middleware converts it into a context.WithDeadline, so a
+// queued job whose caller has given up is dropped before it burns a
+// worker. Like every X-Symclusterd-* header it is written only in this
+// package (enforced by `make lint`).
+const DeadlineHeader = "X-Symclusterd-Deadline-Ms"
+
+// SetDeadlineHeader stamps h with a remaining budget. Negative budgets
+// clamp to zero — an explicit "already dead" the receiver fast-fails.
+// Exported because this package is the module's only propagation-header
+// writer; tests and clients needing an explicit budget go through it.
+func SetDeadlineHeader(h http.Header, remaining time.Duration) {
+	if remaining < 0 {
+		remaining = 0
+	}
+	h.Set(DeadlineHeader, strconv.FormatInt(remaining.Milliseconds(), 10))
+}
+
+// ParseDeadlineHeader reads a request's remaining-budget header. ok is
+// false when the header is absent or malformed (a malformed budget is
+// ignored, never treated as zero — that would 504 valid traffic on a
+// corrupt proxy).
+func ParseDeadlineHeader(h http.Header) (time.Duration, bool) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
 }
 
 // Client is the retrying HTTP client every inter-node hop (and the
@@ -62,6 +101,20 @@ type ClientConfig struct {
 	// reason ("status 503", "connection refused", …) — the metrics
 	// hook behind symclusterd_proxy_retries_total.
 	OnRetry func(reason string)
+	// HopMargin is subtracted from the context's remaining budget when
+	// stamping DeadlineHeader on an outgoing request (default 50ms),
+	// reserving time for the reply to travel back so the peer does not
+	// spend the caller's entire budget computing an answer nobody will
+	// be there to read.
+	HopMargin time.Duration
+	// Breakers, when non-nil, gates every attempt through the per-peer
+	// circuit breaker set: requests to a peer whose breaker is open fail
+	// fast with a *BreakerOpenError instead of burning AttemptTimeout.
+	Breakers *BreakerSet
+	// RetryBudget, when non-nil, bounds what fraction of this client's
+	// traffic may be retries; when the bucket is empty the last shed
+	// response (or transport error) is returned instead of retried.
+	RetryBudget *RetryBudget
 	// Transport overrides the HTTP transport (tests; nil means
 	// http.DefaultTransport).
 	Transport http.RoundTripper
@@ -82,6 +135,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = 5 * time.Second
+	}
+	if c.HopMargin <= 0 {
+		c.HopMargin = 50 * time.Millisecond
 	}
 	if c.Jitter == nil {
 		c.Jitter = func(d time.Duration) time.Duration {
@@ -150,9 +206,18 @@ func (c *Client) Do(ctx context.Context, method, url string, header http.Header,
 // so retries never resend a half-consumed stream. contentLength < 0
 // means unknown.
 func (c *Client) DoStream(ctx context.Context, method, url string, header http.Header, open func() (io.ReadCloser, error), contentLength int64) (*http.Response, error) {
+	peer := peerKey(url)
+	c.cfg.RetryBudget.RecordRequest()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		// The breaker is consulted per attempt, not per request: a
+		// breaker tripped by THIS request's earlier failures stops the
+		// remaining attempts too.
+		if berr := c.cfg.Breakers.Allow(peer); berr != nil {
+			return nil, fmt.Errorf("cluster: %s %s: %w", method, url, berr)
+		}
 		resp, err := c.attempt(ctx, method, url, header, open, contentLength)
+		c.recordOutcome(ctx, peer, resp, err)
 		if err == nil && !Retryable(resp.StatusCode) {
 			return resp, nil
 		}
@@ -171,6 +236,12 @@ func (c *Client) DoStream(ctx context.Context, method, url string, header http.H
 			}
 			wait = c.backoff(attempt)
 			reason = fmt.Sprintf("attempt error: %v", err)
+			if !deadlineAllows(ctx, wait) {
+				return nil, fmt.Errorf("cluster: %s %s: retry would outlive the deadline: %w", method, url, lastErr)
+			}
+			if !c.cfg.RetryBudget.AllowRetry() {
+				return nil, fmt.Errorf("cluster: %s %s: retry budget exhausted: %w", method, url, lastErr)
+			}
 		} else {
 			if last {
 				return resp, nil // relay the final 429/503 to the caller
@@ -184,6 +255,16 @@ func (c *Client) DoStream(ctx context.Context, method, url string, header http.H
 				wait = c.backoff(attempt)
 			}
 			reason = "status " + strconv.Itoa(resp.StatusCode)
+			// Never sleep past the point where the request is already
+			// dead: when honoring the wait (Retry-After or backoff) would
+			// outlive the caller's deadline, relay the shed response now —
+			// the caller still has time to act on it.
+			if !deadlineAllows(ctx, wait) {
+				return resp, nil
+			}
+			if !c.cfg.RetryBudget.AllowRetry() {
+				return resp, nil
+			}
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 		}
@@ -196,6 +277,41 @@ func (c *Client) DoStream(ctx context.Context, method, url string, header http.H
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// recordOutcome feeds one attempt's result to the breaker. A transport
+// error or shedding status counts as a failure — both mean "stop
+// sending this peer work for a while". An attempt killed by the
+// caller's own cancellation or deadline is neither: the trial slot is
+// released without judging the peer.
+func (c *Client) recordOutcome(ctx context.Context, peer string, resp *http.Response, err error) {
+	if c.cfg.Breakers == nil {
+		return
+	}
+	if err != nil && ctx.Err() != nil {
+		c.cfg.Breakers.Release(peer)
+		return
+	}
+	c.cfg.Breakers.Record(peer, err == nil && !Retryable(resp.StatusCode))
+}
+
+// deadlineAllows reports whether sleeping for wait still leaves time
+// before ctx's deadline. No deadline always allows.
+func deadlineAllows(ctx context.Context, wait time.Duration) bool {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return time.Until(dl) > wait
+}
+
+// peerKey derives the breaker key for a request URL: the host:port,
+// which matches cluster peer names.
+func peerKey(rawURL string) string {
+	if u, err := url.Parse(rawURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return rawURL
 }
 
 // backoff returns the jittered, capped exponential wait before retrying
@@ -246,6 +362,14 @@ func (c *Client) attempt(ctx context.Context, method, url string, header http.He
 	req.ContentLength = contentLength
 	for k, vs := range header {
 		req.Header[k] = append([]string(nil), vs...)
+	}
+	// Deadline propagation: the caller's remaining budget rides every
+	// hop as DeadlineHeader, minus HopMargin for the reply's travel.
+	// Stamped from the live context — overwriting any relayed value, so
+	// a forwarded request carries the budget as of THIS hop, not a stale
+	// figure from when the entry node received it.
+	if dl, ok := ctx.Deadline(); ok {
+		SetDeadlineHeader(req.Header, time.Until(dl)-c.cfg.HopMargin)
 	}
 	// Trace propagation: every hop through this client carries the
 	// caller's current span as a traceparent-style header, so the peer

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"context"
 	"io"
 	"net/http"
 	"sync"
@@ -236,7 +235,7 @@ func (h *Health) probe(p *Peer) error {
 	if err := faultinject.Fire("peer.health"); err != nil {
 		return err
 	}
-	resp, err := h.client.Do(context.Background(), http.MethodGet, p.URL+"/healthz", nil, nil)
+	resp, err := h.client.Do(bootContext(), http.MethodGet, p.URL+"/healthz", nil, nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,100 @@
+package cluster
+
+import "sync"
+
+// RetryBudget is a token bucket that bounds what fraction of recent
+// traffic may be retries, so the retrying client cannot amplify a
+// brownout into a retry storm: when every request to a shedding peer
+// fails and is retried MaxAttempts-1 times, the retry traffic is a
+// multiple of the offered load — exactly the amplification that keeps
+// an overloaded peer overloaded.
+//
+// Each first attempt deposits Ratio tokens (default 0.1); each retry
+// withdraws one. The balance is capped at Burst, so a long quiet
+// stretch cannot bank an unbounded retry burst. Sustained, retries are
+// therefore at most ~Ratio of the request rate; transient blips still
+// retry freely out of the Burst cushion.
+type RetryBudget struct {
+	ratio float64
+	burst float64
+	// onExhausted, when non-nil, fires once per denied retry — the hook
+	// behind symclusterd_retry_budget_exhausted_total.
+	onExhausted func()
+
+	mu     sync.Mutex
+	tokens float64
+}
+
+// RetryBudgetConfig sizes a RetryBudget. Zero values select the
+// defaults noted on each field.
+type RetryBudgetConfig struct {
+	// Ratio is the sustained retries-per-request allowance (default 0.1:
+	// at most ~10% of recent requests may be retried).
+	Ratio float64
+	// Burst caps banked tokens (default 10), bounding the retry burst
+	// after a quiet period and seeding the bucket at start.
+	Burst float64
+	// OnExhausted, when non-nil, is called once per retry denied for an
+	// empty bucket.
+	OnExhausted func()
+}
+
+// NewRetryBudget builds a budget starting with a full burst allowance.
+func NewRetryBudget(cfg RetryBudgetConfig) *RetryBudget {
+	if cfg.Ratio <= 0 {
+		cfg.Ratio = 0.1
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 10
+	}
+	return &RetryBudget{
+		ratio:       cfg.Ratio,
+		burst:       cfg.Burst,
+		onExhausted: cfg.OnExhausted,
+		tokens:      cfg.Burst,
+	}
+}
+
+// RecordRequest deposits one request's worth of retry allowance. The
+// client calls it once per Do/DoStream, not per attempt.
+func (b *RetryBudget) RecordRequest() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// AllowRetry withdraws one token if available, reporting whether the
+// retry may proceed. A denied retry fires OnExhausted; the caller
+// returns the last response (or error) instead of sleeping and trying
+// again.
+func (b *RetryBudget) AllowRetry() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	if !ok && b.onExhausted != nil {
+		b.onExhausted()
+	}
+	return ok
+}
+
+// Tokens reads the current balance (tests and status reporting).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,173 @@
+// Package leakcheck detects goroutine leaks in end-to-end tests: take
+// a Baseline before the code under test runs, then Settle afterwards
+// and fail if goroutines above the baseline refuse to exit.
+//
+// The comparison is by stack signature (top frame plus creation site,
+// addresses stripped), not by raw count, so an unrelated runtime
+// goroutine starting mid-test cannot mask a real leak of a different
+// shape. Goroutines owned by the runtime and the test harness — the
+// testing framework, GC workers, signal handling, and net/http's
+// pooled idle connections — are allowlisted: they come and go on their
+// own schedule and are not leaks.
+//
+// Settle polls rather than asserting once: goroutines unwinding after
+// a cancel need a moment to observe it, and failing before they do
+// would make every guard flaky. The default window is five seconds —
+// far beyond any legitimate unwind, short enough to not stall a suite.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultSettle is the settle window Guard uses: long enough for any
+// legitimate post-cancel unwind, short enough to keep failing tests
+// fast.
+const DefaultSettle = 5 * time.Second
+
+// allowlist marks goroutine stanzas that are never leaks: matched
+// substrings anywhere in the stack dump.
+var allowlist = []string{
+	// The test harness itself.
+	"testing.",
+	// Runtime housekeeping workers.
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"runtime.ReadTrace",
+	// Signal delivery (installed once per process, never exits).
+	"os/signal.",
+	// net/http's idle connection pool: readLoop/writeLoop pairs linger
+	// by design until the idle timeout and are reused across tests.
+	"net/http.(*persistConn)",
+	"net/http.(*Transport)",
+	// This package's own snapshot machinery.
+	"leakcheck.snapshot",
+}
+
+// Baseline is a goroutine census taken before the code under test.
+type Baseline struct {
+	counts map[string]int
+}
+
+// Take snapshots the current goroutines (allowlisted ones excluded).
+func Take() *Baseline {
+	return &Baseline{counts: snapshot()}
+}
+
+// Settle polls until every goroutine above the baseline has exited or
+// the window elapses, then reports the survivors. A nil error means
+// the process is back to its baseline shape.
+func (b *Baseline) Settle(window time.Duration) error {
+	deadline := time.Now().Add(window)
+	var extra map[string]int
+	for {
+		extra = nil
+		for sig, n := range snapshot() {
+			if over := n - b.counts[sig]; over > 0 {
+				if extra == nil {
+					extra = make(map[string]int)
+				}
+				extra[sig] = over
+			}
+		}
+		if len(extra) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	sigs := make([]string, 0, len(extra))
+	total := 0
+	for sig, n := range extra {
+		sigs = append(sigs, fmt.Sprintf("  %dx %s", n, sig))
+		total += n
+	}
+	sort.Strings(sigs)
+	return fmt.Errorf("leakcheck: %d goroutine(s) above baseline after %v:\n%s",
+		total, window, strings.Join(sigs, "\n"))
+}
+
+// TB is the sliver of testing.TB Guard needs; declared here so the
+// package stays importable outside _test files (the soak harness links
+// it into a non-test binary).
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Error(args ...any)
+}
+
+// Guard is the one-line harness for tests: it takes a baseline now and
+// registers a cleanup that fails the test if goroutines have not
+// settled back within DefaultSettle. Register it before the code under
+// test starts anything.
+func Guard(t TB) {
+	t.Helper()
+	b := Take()
+	t.Cleanup(func() {
+		if err := b.Settle(DefaultSettle); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// snapshot counts live goroutines by signature, skipping allowlisted
+// stanzas.
+func snapshot() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	counts := make(map[string]int)
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		if sig, ok := signature(stanza); ok {
+			counts[sig]++
+		}
+	}
+	return counts
+}
+
+// signature reduces one goroutine stanza to a stable identity: the top
+// frame's function plus the creation site, with arguments and
+// addresses stripped so two goroutines of the same shape compare
+// equal. ok is false for allowlisted or malformed stanzas.
+func signature(stanza string) (sig string, ok bool) {
+	lines := strings.Split(stanza, "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return "", false
+	}
+	for _, allowed := range allowlist {
+		if strings.Contains(stanza, allowed) {
+			return "", false
+		}
+	}
+	sig = strings.TrimSpace(lines[1])
+	// Strip the trailing argument list only — the last '(' — so method
+	// receivers like "(*Pool).worker" keep their parentheses.
+	if i := strings.LastIndexByte(sig, '('); i > 0 {
+		sig = sig[:i]
+	}
+	for _, l := range lines {
+		if created, found := strings.CutPrefix(l, "created by "); found {
+			if i := strings.Index(created, " in goroutine"); i > 0 {
+				created = created[:i]
+			}
+			sig += " <- " + created
+			break
+		}
+	}
+	return sig, true
+}

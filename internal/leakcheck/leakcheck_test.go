@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSettleCleanProcess(t *testing.T) {
+	b := Take()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	if err := b.Settle(2 * time.Second); err != nil {
+		t.Fatalf("clean process reported a leak: %v", err)
+	}
+}
+
+func TestSettleCatchesLeak(t *testing.T) {
+	b := Take()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // deliberately outlives the settle window
+	err := b.Settle(200 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Settle missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "above baseline") {
+		t.Fatalf("unhelpful leak report: %v", err)
+	}
+}
+
+func TestSettleWaitsForUnwind(t *testing.T) {
+	// A goroutine that exits during the settle window is not a leak.
+	b := Take()
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		close(stop)
+	}()
+	if err := b.Settle(5 * time.Second); err != nil {
+		t.Fatalf("Settle failed before the goroutine could unwind: %v", err)
+	}
+}
+
+func TestSignatureStripsAddresses(t *testing.T) {
+	stanza := "goroutine 42 [chan receive]:\n" +
+		"symcluster/internal/server.(*Pool).worker(0xc000100000)\n" +
+		"\t/root/repo/internal/server/pool.go:91 +0x5c\n" +
+		"created by symcluster/internal/server.NewPool in goroutine 1\n" +
+		"\t/root/repo/internal/server/pool.go:86 +0xd1"
+	sig, ok := signature(stanza)
+	if !ok {
+		t.Fatal("stanza filtered unexpectedly")
+	}
+	want := "symcluster/internal/server.(*Pool).worker <- symcluster/internal/server.NewPool"
+	if sig != want {
+		t.Fatalf("signature = %q, want %q", sig, want)
+	}
+}
+
+func TestSignatureAllowlistsHarness(t *testing.T) {
+	stanza := "goroutine 7 [select]:\n" +
+		"net/http.(*persistConn).readLoop(0xc0001b2000)\n" +
+		"\t/usr/local/go/src/net/http/transport.go:2205 +0x9a5\n" +
+		"created by net/http.(*Transport).dialConn in goroutine 12\n" +
+		"\t/usr/local/go/src/net/http/transport.go:1765 +0x16f1"
+	if _, ok := signature(stanza); ok {
+		t.Fatal("idle-pool goroutine not allowlisted")
+	}
+}

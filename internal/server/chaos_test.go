@@ -6,12 +6,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"symcluster/internal/faultinject"
+	"symcluster/internal/leakcheck"
 )
 
 // The tests in this file arm the faultinject registry, which is global
@@ -126,8 +126,10 @@ func TestWorkerPanicFailsAsyncJob(t *testing.T) {
 // kernel is iterating (every MCL iteration is slowed by an injected
 // delay) and checks the whole unwind: the handler answers 499
 // promptly, the kernel notices the cancelled context within about one
-// iteration and frees the worker, and no goroutines are left behind.
+// iteration and frees the worker, and no goroutines are left behind
+// (enforced by stack signature, not a raw count, via leakcheck).
 func TestCancellationReleasesWorkerMidRun(t *testing.T) {
+	leakcheck.Guard(t)
 	defer faultinject.Reset()
 	s := mustNew(t, Config{Workers: 1})
 	t.Cleanup(func() {
@@ -141,8 +143,6 @@ func TestCancellationReleasesWorkerMidRun(t *testing.T) {
 	// A long stall on the first iteration guarantees the cancel lands
 	// while the kernel is mid-run (hits are counted before the sleep).
 	faultinject.Set("mcl.iterate", faultinject.Fault{Mode: faultinject.Delay, Delay: 200 * time.Millisecond})
-
-	before := runtime.NumGoroutine()
 
 	body, _ := json.Marshal(ClusterRequest{GraphID: info.ID, Method: "dd", Algorithm: "mcl", Seed: 1})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -170,11 +170,9 @@ func TestCancellationReleasesWorkerMidRun(t *testing.T) {
 		t.Fatalf("status = %d, want 499", rec.Code)
 	}
 	// The kernel polls ctx at each iteration boundary; one delayed
-	// iteration bounds how long the worker stays occupied.
+	// iteration bounds how long the worker stays occupied. The leak
+	// guard's cleanup then verifies no goroutines survive the unwind.
 	waitFor(t, 2*time.Second, "worker released", func() bool { return s.pool.Busy() == 0 })
-	waitFor(t, 2*time.Second, "goroutines reclaimed", func() bool {
-		return runtime.NumGoroutine() <= before+1
-	})
 }
 
 // TestSlowKernelTimeout checks that a kernel slower than the request

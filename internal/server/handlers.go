@@ -181,14 +181,42 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res.(*runOutcome).Resp)
 }
 
-// submitJob pushes work through the shedding gate onto the pool. The
-// gate is a high watermark over the summed working-set estimates of
-// queued tasks: once queuedBytes is at or past MaxQueueBytes the
-// request is shed with 429 — but the incoming job's own estimate is
-// not counted, so a single large job on an idle queue always gets in.
-// Accepted estimates are released by the pool's dequeue hook (run or
-// dropped, either way the bytes stop being "queued").
+// submitJob pushes work through the deadline and shedding gates onto
+// the pool.
+//
+// The deadline gate fast-fails two cases with 504 before the job costs
+// anything: a context already expired at submit, and a remaining
+// budget smaller than even a wildly optimistic estimate of the job's
+// runtime (its admission byte estimate over Config.DeadlineThroughput)
+// — the job could not possibly answer in time, so queueing it only
+// delays work that still can. A third case is caught later by the
+// pool: a deadline that expires while the task waits in the queue
+// drops it at dequeue, before fn runs (so no kernel ever starts and
+// the trace stays empty). All three count into
+// symclusterd_deadline_rejected_total.
+//
+// The shedding gate is a high watermark over the summed working-set
+// estimates of queued tasks: once queuedBytes is at or past
+// MaxQueueBytes the request is shed with 429 — but the incoming job's
+// own estimate is not counted, so a single large job on an idle queue
+// always gets in. Accepted estimates are released by the pool's
+// dequeue hook (run or dropped, either way the bytes stop being
+// "queued").
 func (s *Server) submitJob(ctx context.Context, est int64, fn func(ctx context.Context) (any, error)) (func() (any, error), error) {
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.IncDeadlineRejected()
+		}
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		need := time.Duration(float64(est) / float64(s.cfg.DeadlineThroughput) * float64(time.Second))
+		if remaining := time.Until(dl); remaining < need {
+			s.metrics.IncDeadlineRejected()
+			return nil, &apiError{code: http.StatusGatewayTimeout,
+				err: fmt.Errorf("deadline too tight: %v remaining, but the job needs at least %v even at best-case throughput", remaining.Round(time.Millisecond), need.Round(time.Millisecond))}
+		}
+	}
 	if max := s.cfg.MaxQueueBytes; max > 0 && s.queuedBytes.Load() >= max {
 		s.shedTotal.Add(1)
 		return nil, fmt.Errorf("%w: %d bytes queued, budget %d; retry later",
@@ -202,6 +230,10 @@ func (s *Server) submitJob(ctx context.Context, est int64, fn func(ctx context.C
 	wait, err := s.pool.SubmitHooked(ctx, fn, func() {
 		js.SetQueueWait(time.Since(submitted))
 		s.queuedBytes.Add(-est)
+	}, func(cause error) {
+		if errors.Is(cause, context.DeadlineExceeded) {
+			s.metrics.IncDeadlineRejected()
+		}
 	})
 	if err != nil {
 		s.queuedBytes.Add(-est)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"symcluster/internal/cluster"
 	"symcluster/internal/csr"
 	"symcluster/internal/obs"
 )
@@ -28,6 +29,12 @@ type Metrics struct {
 	stageSeconds     *obs.Histogram
 	cacheObjectBytes *obs.Histogram
 	admissionReject  *obs.Counter
+
+	// Overload-survival families (PR 10): deadline fast-fails, breaker
+	// positions and denied retries.
+	deadlineRejected *obs.Counter
+	breakerState     *obs.Gauge
+	retryExhausted   *obs.Counter
 
 	// Cluster-mode families. Registered unconditionally (zero in
 	// single-node mode) so dashboards need not branch on deployment.
@@ -53,6 +60,12 @@ func NewMetrics() *Metrics {
 			"Resident size of symmetrized graphs inserted into the cache.", obs.SizeBuckets),
 		admissionReject: reg.Counter("symclusterd_admission_rejected_total",
 			"Clustering requests rejected by the working-set byte budget."),
+		deadlineRejected: reg.Counter("symclusterd_deadline_rejected_total",
+			"Requests fast-failed with 504 because their propagated deadline expired (at submit or while queued) or their remaining budget cannot fit the estimated runtime."),
+		breakerState: reg.Gauge("symclusterd_breaker_state",
+			"Circuit-breaker position per peer: 0 closed, 1 half-open, 2 open.", "peer"),
+		retryExhausted: reg.Counter("symclusterd_retry_budget_exhausted_total",
+			"Retries denied because the token-bucket retry budget was empty."),
 		proxyRequests: reg.Counter("symclusterd_proxy_requests_total",
 			"Requests forwarded to the owning peer, by peer and relayed status code.", "peer", "code"),
 		proxyRetries: reg.Counter("symclusterd_proxy_retries_total",
@@ -68,6 +81,8 @@ func NewMetrics() *Metrics {
 	// exposition before the first event (tests and dashboards rely on
 	// the zero line).
 	m.admissionReject.Add(0)
+	m.deadlineRejected.Add(0)
+	m.retryExhausted.Add(0)
 	m.proxyRetries.Add(0)
 	m.jobsAdopted.Add(0)
 	m.uploadsExpired.Add(0)
@@ -103,6 +118,30 @@ func (m *Metrics) ObserveCacheObject(bytes int64) {
 // IncAdmissionRejected counts one clustering request rejected by the
 // working-set byte budget.
 func (m *Metrics) IncAdmissionRejected() { m.admissionReject.Inc() }
+
+// IncDeadlineRejected counts one request fast-failed 504 by the
+// deadline gate (expired at submit, unfittable budget, or expired in
+// the queue).
+func (m *Metrics) IncDeadlineRejected() { m.deadlineRejected.Inc() }
+
+// SetBreakerState records one peer's circuit-breaker position.
+func (m *Metrics) SetBreakerState(peer string, state cluster.BreakerState) {
+	var v float64
+	switch state {
+	case cluster.BreakerHalfOpen:
+		v = 1
+	case cluster.BreakerOpen:
+		v = 2
+	}
+	m.breakerState.Set(v, peer)
+}
+
+// IncRetryBudgetExhausted counts one denied retry.
+func (m *Metrics) IncRetryBudgetExhausted() { m.retryExhausted.Inc() }
+
+// RetryBudgetExhaustedValue reads the denied-retry counter back for the
+// cluster status plane.
+func (m *Metrics) RetryBudgetExhaustedValue() int64 { return int64(m.retryExhausted.Value()) }
 
 // IncProxyRequest counts one request forwarded to a peer, labeled by
 // the peer name and the status code relayed to the client (502 when the

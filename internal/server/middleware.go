@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"symcluster/internal/cluster"
 	"symcluster/internal/obs"
 )
 
@@ -61,6 +63,19 @@ func (s *Server) instrumented(route string, capped bool, h http.HandlerFunc) htt
 		reqID := "r-" + strconv.FormatInt(requestSeq.Add(1), 10)
 		log := s.log().With("request_id", reqID, "route", route)
 		ctx := r.Context()
+		// End-to-end deadline: a caller that stamped its remaining budget
+		// on the request (the CLI's -timeout, or the cluster client
+		// deriving it from its own context minus the hop margin) gets a
+		// real context deadline here, so queued work whose caller has
+		// given up is dropped before it burns a worker, in-flight kernels
+		// observe the expiry at their next poll, and every fan-out
+		// underneath inherits min(its own timeout, what's left).
+		if budget, ok := cluster.ParseDeadlineHeader(r.Header); ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, start.Add(budget))
+			defer cancel()
+			log = log.With("deadline_ms", budget.Milliseconds())
+		}
 		// Join a peer's trace: the cluster client stamps every forwarded
 		// and internal hop with a traceparent header; seeding the context
 		// here makes whatever trace this request starts (runCluster, the

@@ -83,6 +83,15 @@ func (s *Server) nodeStatus() NodeStatus {
 	ns.Jobs = jobs
 	if s.coord != nil {
 		ns.Name = s.coord.self.Name
+		ns.RetryBudgetExhausted = s.metrics.RetryBudgetExhaustedValue()
+		states := s.coord.breakers.States()
+		if len(states) > 0 {
+			breakers := make(map[string]string, len(states))
+			for peer, st := range states {
+				breakers[peer] = st.String()
+			}
+			ns.Breakers = breakers
+		}
 	}
 	return ns
 }
@@ -119,7 +128,10 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 // federateStatus builds one row per cluster member: self locally, down
 // and half-open peers from the health checker's cached verdict (no
 // network — this is what keeps a dead peer from stalling the report),
-// and up peers via concurrent fetches under the fan-out timeout.
+// nominally-up peers whose outbound breaker is open from the breaker's
+// verdict (same reasoning: the breaker just proved the peer is not
+// answering, so the report says so without another doomed probe), and
+// the rest via concurrent fetches under the fan-out timeout.
 func (c *coordinator) federateStatus(ctx context.Context, self NodeStatus) []NodeStatus {
 	peers := c.ring.Peers()
 	rows := make([]NodeStatus, len(peers))
@@ -130,6 +142,8 @@ func (c *coordinator) federateStatus(ctx context.Context, self NodeStatus) []Nod
 			rows[i] = self
 		case state != "up":
 			rows[i] = NodeStatus{Name: p.Name, State: state}
+		case c.breakers.State(p.Name) == cluster.BreakerOpen:
+			rows[i] = NodeStatus{Name: p.Name, State: state, Error: "breaker open"}
 		default:
 			wg.Add(1)
 			go func(i int, p *cluster.Peer) {
@@ -144,8 +158,15 @@ func (c *coordinator) federateStatus(ctx context.Context, self NodeStatus) []Nod
 
 // fetchStatus pulls one up peer's self-report, degrading the row to
 // name + error when the peer does not answer within the fan-out
-// timeout (it may have died since its last probe).
+// timeout (it may have died since its last probe). The effective
+// per-peer timeout is min(statusFanoutTimeout, caller's remaining
+// budget): WithTimeout never extends past the parent deadline, so a
+// caller with 300ms left gets a 300ms fan-out, not a 2s one.
 func (c *coordinator) fetchStatus(ctx context.Context, p *cluster.Peer) NodeStatus {
+	if err := ctx.Err(); err != nil {
+		// The caller's deadline already passed; skip the doomed fetch.
+		return NodeStatus{Name: p.Name, State: "up", Error: err.Error()}
+	}
 	ctx, cancel := context.WithTimeout(ctx, statusFanoutTimeout)
 	defer cancel()
 	resp, err := c.client.Do(ctx, http.MethodGet, p.URL+internalStatusPath, http.Header{}, nil)
@@ -168,7 +189,9 @@ func (c *coordinator) fetchStatus(ctx context.Context, p *cluster.Peer) NodeStat
 // local tree (deep-copied, so repeated GETs never mutate the stored
 // job trace) plus whatever segments healthy peers retain for the same
 // trace id, fetched concurrently under the fan-out timeout. Peers that
-// evicted their segment — or died — just mean a shallower tree.
+// evicted their segment — or died — just mean a shallower tree, as do
+// peers behind an open breaker (the breaker just proved they are not
+// answering; probing them again would only slow the merge down).
 func (c *coordinator) mergeTrace(ctx context.Context, traceID string, local *obs.SpanNode) *obs.SpanNode {
 	segments := []*obs.SpanNode{copySpanTree(local)}
 	peers := c.ring.Peers()
@@ -176,6 +199,9 @@ func (c *coordinator) mergeTrace(ctx context.Context, traceID string, local *obs
 	var wg sync.WaitGroup
 	for i, p := range peers {
 		if p.Name == c.self.Name || !c.health.Healthy(p.Name) {
+			continue
+		}
+		if c.breakers.State(p.Name) == cluster.BreakerOpen {
 			continue
 		}
 		wg.Add(1)
@@ -195,8 +221,13 @@ func (c *coordinator) mergeTrace(ctx context.Context, traceID string, local *obs
 }
 
 // fetchTraceSegments pulls one peer's retained segments of a trace;
-// failures degrade to no segments rather than failing the merge.
+// failures degrade to no segments rather than failing the merge. Like
+// fetchStatus, the per-peer timeout is capped by the caller's
+// remaining budget.
 func (c *coordinator) fetchTraceSegments(ctx context.Context, p *cluster.Peer, traceID string) []*obs.SpanNode {
+	if ctx.Err() != nil {
+		return nil
+	}
 	ctx, cancel := context.WithTimeout(ctx, statusFanoutTimeout)
 	defer cancel()
 	resp, err := c.client.Do(ctx, http.MethodGet,

@@ -57,9 +57,15 @@ type poolTask struct {
 	// the queue — whether it then runs or is dropped for a dead context.
 	// The admission layer uses it to release queued-byte accounting.
 	onDequeue func()
-	res       any
-	err       error
-	done      chan struct{}
+	// onDrop, when set, fires (after onDequeue) when the worker drops
+	// the task instead of running it because its context died while it
+	// waited — with the context's error, so the deadline-rejection
+	// accounting can distinguish an expired deadline from a client
+	// cancel.
+	onDrop func(cause error)
+	res    any
+	err    error
+	done   chan struct{}
 }
 
 // NewPool starts workers goroutines over a queue of depth queueDepth.
@@ -88,9 +94,14 @@ func (p *Pool) worker() {
 		if t.onDequeue != nil {
 			t.onDequeue()
 		}
-		// A task whose client has already gone away is dropped
-		// without occupying the worker.
+		// A task whose client has already gone away — or whose deadline
+		// expired while it waited — is dropped without occupying the
+		// worker: its fn never runs, so an expired job produces no
+		// kernel spans and burns no compute.
 		if err := t.ctx.Err(); err != nil {
+			if t.onDrop != nil {
+				t.onDrop(err)
+			}
 			t.err = err
 			close(t.done)
 			continue
@@ -124,14 +135,16 @@ func (p *Pool) runTask(t *poolTask) (res any, err error) {
 // a cancelled wait abandons the task (the worker still completes it,
 // but the result is discarded).
 func (p *Pool) Submit(ctx context.Context, fn func(ctx context.Context) (any, error)) (wait func() (any, error), err error) {
-	return p.SubmitHooked(ctx, fn, nil)
+	return p.SubmitHooked(ctx, fn, nil, nil)
 }
 
-// SubmitHooked is Submit with a dequeue hook: onDequeue (if non-nil)
+// SubmitHooked is Submit with lifecycle hooks: onDequeue (if non-nil)
 // fires exactly once when a worker pulls the task from the queue,
-// before deciding whether to run or drop it.
-func (p *Pool) SubmitHooked(ctx context.Context, fn func(ctx context.Context) (any, error), onDequeue func()) (wait func() (any, error), err error) {
-	t := &poolTask{ctx: ctx, fn: fn, onDequeue: onDequeue, done: make(chan struct{})}
+// before deciding whether to run or drop it; onDrop (if non-nil) fires
+// when the worker then drops the task for a dead context, with the
+// context's error.
+func (p *Pool) SubmitHooked(ctx context.Context, fn func(ctx context.Context) (any, error), onDequeue func(), onDrop func(cause error)) (wait func() (any, error), err error) {
+	t := &poolTask{ctx: ctx, fn: fn, onDequeue: onDequeue, onDrop: onDrop, done: make(chan struct{})}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

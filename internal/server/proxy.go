@@ -69,6 +69,20 @@ type ClusterConfig struct {
 	// ProxyMaxWait caps the backoff (and honored Retry-After) between
 	// forwarding attempts (default 5s).
 	ProxyMaxWait time.Duration
+	// BreakerFailThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker (default 5). The breaker is distinct from
+	// the health prober: it reacts to real request traffic within
+	// milliseconds and only gates this node's outbound calls, while the
+	// prober owns ring membership.
+	BreakerFailThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting one half-open trial request (default 5s).
+	BreakerCooldown time.Duration
+	// RetryBudgetRatio is the token-bucket refill per request (default
+	// 0.1: sustained retries are capped at ~10% of request volume).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst caps banked retry tokens (default 10).
+	RetryBudgetBurst float64
 }
 
 // forwardHeader marks a request as already forwarded once; receivers
@@ -86,11 +100,12 @@ const internalCSRPath = "/internal/v1/graphs/csr"
 
 // coordinator is the per-node cluster brain: ring, health, client.
 type coordinator struct {
-	s      *Server
-	self   *cluster.Peer
-	ring   *cluster.Ring
-	health *cluster.Health
-	client *cluster.Client
+	s        *Server
+	self     *cluster.Peer
+	ring     *cluster.Ring
+	health   *cluster.Health
+	client   *cluster.Client
+	breakers *cluster.BreakerSet
 
 	// adoptMu serializes adoption passes and guards adopted: the peers
 	// whose WAL this node took over during their current down period
@@ -112,10 +127,28 @@ func newCoordinator(s *Server, cfg *ClusterConfig) (*coordinator, error) {
 		return nil, fmt.Errorf("cluster: -self %q is not in the peer list", cfg.Self)
 	}
 	c.self = self
+	c.breakers = cluster.NewBreakerSet(cluster.BreakerConfig{
+		FailThreshold: cfg.BreakerFailThreshold,
+		Cooldown:      cfg.BreakerCooldown,
+		OnChange: func(peer string, state cluster.BreakerState) {
+			s.metrics.SetBreakerState(peer, state)
+			s.log().Warn("breaker state change", "peer", peer, "state", state.String())
+		},
+	})
+	budget := cluster.NewRetryBudget(cluster.RetryBudgetConfig{
+		Ratio: cfg.RetryBudgetRatio,
+		Burst: cfg.RetryBudgetBurst,
+		OnExhausted: func() {
+			s.metrics.IncRetryBudgetExhausted()
+			s.log().Warn("retry budget exhausted; failing fast")
+		},
+	})
 	c.client = cluster.NewClient(cluster.ClientConfig{
 		MaxAttempts:    cfg.ProxyAttempts,
 		AttemptTimeout: cfg.ProxyTimeout,
 		MaxWait:        cfg.ProxyMaxWait,
+		Breakers:       c.breakers,
+		RetryBudget:    budget,
 		OnRetry: func(reason string) {
 			s.metrics.IncProxyRetry()
 			s.log().Warn("proxy retry", "reason", reason)
@@ -139,11 +172,12 @@ func newCoordinator(s *Server, cfg *ClusterConfig) (*coordinator, error) {
 			go c.adoptIfNeeded(p, err)
 		},
 	})
-	// Seed the gauge at 0 for every remote peer so the family is
+	// Seed the gauges at 0 for every remote peer so the families are
 	// present (and obviously healthy) before the first transition.
 	for _, p := range cfg.Peers {
 		if p.Name != cfg.Self {
 			s.metrics.SetPeerUnhealthy(p.Name, false)
+			s.metrics.SetBreakerState(p.Name, cluster.BreakerClosed)
 		}
 	}
 	return c, nil
@@ -238,6 +272,17 @@ func (c *coordinator) forward(w http.ResponseWriter, r *http.Request, peer *clus
 	if err != nil {
 		span.EndErr(err)
 		c.s.traces.Export(tr)
+		// An open breaker means this node already knows the peer is
+		// failing: answer 503 + Retry-After immediately instead of the
+		// generic 502, without having touched the network.
+		var boe *cluster.BreakerOpenError
+		if errors.As(err, &boe) {
+			c.s.metrics.IncProxyRequest(peer.Name, http.StatusServiceUnavailable)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(boe.RetryAfter)))
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("forwarding to %s: %w", peer.Name, err))
+			return
+		}
 		c.s.metrics.IncProxyRequest(peer.Name, http.StatusBadGateway)
 		writeError(w, http.StatusBadGateway, fmt.Errorf("forwarding to %s: %w", peer.Name, err))
 		return
@@ -255,6 +300,16 @@ func (c *coordinator) forward(w http.ResponseWriter, r *http.Request, peer *clus
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+// retryAfterSeconds renders a Retry-After header value from a
+// duration, rounding up to at least one second (the header's floor).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // readBody drains the (already MaxBytesReader-capped) request body for
@@ -455,6 +510,11 @@ func (c *coordinator) handleRegisterGraph(w http.ResponseWriter, r *http.Request
 	span.EndErr(err)
 	c.s.traces.Export(tr)
 	if err != nil {
+		var boe *cluster.BreakerOpenError
+		if errors.As(err, &boe) {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(boe.RetryAfter)))
+		}
 		writeError(w, code, err)
 		return
 	}
@@ -686,7 +746,7 @@ func (c *coordinator) importGraphFrom(st *jobstore.Store, graphID string) error 
 	if err != nil {
 		return err
 	}
-	mp, err := csr.Open(context.Background(), dst)
+	mp, err := csr.Open(bootContext(), dst)
 	if err != nil {
 		return fmt.Errorf("mapping imported graph: %w", err)
 	}

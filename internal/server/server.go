@@ -36,6 +36,15 @@ type Config struct {
 	// RequestTimeout bounds each synchronous clustering run (default
 	// 60s). Async jobs are not subject to it.
 	RequestTimeout time.Duration
+	// DeadlineThroughput is the deliberately optimistic bytes-per-second
+	// figure the submit-time deadline check divides a job's admission
+	// byte estimate by: a request whose remaining budget is below even
+	// that best-case runtime is rejected 504 before it occupies queue or
+	// worker (default 4 GiB/s — high enough that only hopeless requests
+	// are refused; real runs that merely MIGHT miss their deadline still
+	// get to try, and in-flight expiry cancels them cleanly). Zero or
+	// negative selects the default; tests lower it to force rejections.
+	DeadlineThroughput int64
 	// RetainJobs caps retained finished jobs (default 256).
 	RetainJobs int
 	// JobTTL expires finished async jobs after this duration so an
@@ -131,6 +140,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DeadlineThroughput <= 0 {
+		c.DeadlineThroughput = 4 << 30
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 256
@@ -303,7 +315,7 @@ func New(cfg Config) (*Server, error) {
 // format are migrated in place — parsed once, rewritten as .csr,
 // mapped, and the text file removed — so the next boot maps directly.
 func (s *Server) loadGraphs() error {
-	ctx := context.Background()
+	ctx := bootContext()
 	return s.store.ForEachGraphFile(func(id, path string, legacy bool) error {
 		if legacy {
 			data, err := os.ReadFile(path)
@@ -358,7 +370,7 @@ func (s *Server) resumeJobs(pending []*Job) {
 			continue
 		}
 		for {
-			err := s.launchJob(context.Background(), job, prep)
+			err := s.launchJob(bootContext(), job, prep)
 			if err == nil {
 				s.log().Info("replayed job re-enqueued", "job", job.ID)
 				break
@@ -451,7 +463,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.jobMu.Unlock()
 	s.log().Info("drain deadline passed; preempting jobs for checkpoint", "jobs", n)
 
-	graceCtx, cancel := context.WithTimeout(context.Background(), s.cfg.PreemptGrace)
+	graceCtx, cancel := context.WithTimeout(bootContext(), s.cfg.PreemptGrace)
 	defer cancel()
 	if werr := s.pool.Wait(graceCtx); werr != nil {
 		return werr
@@ -524,7 +536,7 @@ func (s *Server) registerGraph(g *symcluster.DirectedGraph, persist bool) GraphI
 	if persist && s.store != nil {
 		id := fmt.Sprintf("g-%016x", g.Fingerprint())
 		path := s.store.GraphCSRPath(id)
-		if err := csr.WriteMatrix(context.Background(), path, g.Adj); err != nil {
+		if err := csr.WriteMatrix(bootContext(), path, g.Adj); err != nil {
 			s.log().Error("persisting graph", "graph", id, "err", err)
 		} else {
 			csrPath = path

@@ -236,8 +236,12 @@ func (s *Server) handleUploadFinalize(w http.ResponseWriter, r *http.Request) {
 	// In cluster mode the fingerprint — unknowable until the merge just
 	// now — may place the graph on another shard. Ship the finished CSR
 	// file to its owner so cache and WAL locality hold; the result is
-	// the same UploadResult the client would have gotten locally.
-	if c := s.coord; c != nil && !forwarded(r) {
+	// the same UploadResult the client would have gotten locally. This
+	// applies to forwarded finalizes too: the hop here was upload-id
+	// affinity (back to the session's creator), not graph ownership, so
+	// the creator still owes the relocation. No loop risk: the push
+	// lands on the internal CSR endpoint, which registers locally.
+	if c := s.coord; c != nil {
 		id := fmt.Sprintf("g-%016x", g.Fingerprint())
 		owner, ok := c.ownerOf(id)
 		if !ok {

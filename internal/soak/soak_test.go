@@ -1,0 +1,710 @@
+// Package soak is the chaos-soak harness: it boots a real two-node
+// symclusterd cluster (binaries built with -race), drives mixed
+// sync/async clustering load through it while randomized fault
+// schedules fire inside the daemons, SIGKILLs and restarts a node in
+// half the episodes, and checks the survival invariants after every
+// episode:
+//
+//   - no accepted job is lost (every job id reaches a terminal state
+//     and is still resolvable after a final fault-free restart);
+//   - no job is duplicated (a repeated Idempotency-Key submission
+//     returns the same job id, before and after WAL replay);
+//   - a job may fail only while error faults are armed, and may be
+//     canceled only in episodes that killed a node;
+//   - completed assignments are bit-identical to a fault-free control
+//     run of the same request;
+//   - the WAL replays clean: killing both nodes and restarting them
+//     without faults leaves every done job done with its result intact
+//     and finishes every replayed pending job;
+//   - the surviving node's goroutine count and heap return to their
+//     pre-load baseline once the episode drains.
+//
+// The harness is time-bounded, not episode-bounded: it loops fresh
+// episodes until SOAK_SECONDS (default 60) elapses. SOAK_SEED pins the
+// fault schedule for reproduction; every run logs the seed it used.
+// `make soak` is the entry point.
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"symcluster/internal/cluster"
+	"symcluster/internal/server"
+)
+
+// soakClient tolerates the long retry/backoff tails that injected
+// proxy faults produce.
+var soakClient = &http.Client{Timeout: 30 * time.Second}
+
+// node is one cluster member; cmd is replaced across kill/restart.
+type node struct {
+	addr  string // API listen address (also the node's ring name)
+	debug string // pprof listen address (heap?gc=1 forces GC)
+	cmd   *exec.Cmd
+}
+
+func (n *node) stop() {
+	if n.cmd != nil && n.cmd.Process != nil {
+		n.cmd.Process.Kill()
+		n.cmd.Wait()
+		n.cmd = nil
+	}
+}
+
+// trackedJob is one accepted async submission and what became of it.
+type trackedJob struct {
+	id     string
+	method string
+	seed   int64
+	state  string // terminal state observed while the episode drained
+	assign string // fmt.Sprint of the done result's assignments
+}
+
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs only in full mode (make soak)")
+	}
+	budget := 60 * time.Second
+	if s := os.Getenv("SOAK_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad SOAK_SECONDS %q", s)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("SOAK_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SOAK_SEED %q", s)
+		}
+		seed = v
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("soak: budget=%v seed=%d (pin with SOAK_SEED=%d)", budget, seed, seed)
+
+	bin := buildRaceBinary(t)
+	start := time.Now()
+	for ep := 0; ep == 0 || time.Since(start) < budget; ep++ {
+		runEpisode(t, bin, rng, ep)
+		if t.Failed() {
+			t.Fatalf("soak: invariant violated in episode %d (seed %d)", ep, seed)
+		}
+		t.Logf("soak: episode %d clean (%v elapsed)", ep, time.Since(start).Round(time.Second))
+	}
+}
+
+// runEpisode runs one full fault schedule against a fresh two-node
+// cluster and checks every invariant before returning.
+func runEpisode(t *testing.T, bin string, rng *rand.Rand, ep int) {
+	root := t.TempDir()
+	a := &node{addr: freeAddr(t), debug: freeAddr(t)}
+	b := &node{addr: freeAddr(t), debug: freeAddr(t)}
+	defer a.stop()
+	defer b.stop()
+	peers := "http://" + a.addr + ",http://" + b.addr
+
+	kill := ep%2 == 1
+	victim, survivor := b, a
+	if kill && rng.Intn(2) == 0 {
+		victim, survivor = a, b
+	}
+	faults, hasErrorFault := episodeFaults(rng, kill)
+	t.Logf("episode %d: kill=%v victim=%s faults=%q", ep, kill, victim.addr, faults)
+
+	startNode(t, bin, a, root, peers, faults)
+	startNode(t, bin, b, root, peers, faults)
+
+	// Register the block graph, retrying through bounded ingest faults.
+	graphID := registerGraph(t, a.addr)
+	if graphID == "" {
+		t.Errorf("episode %d: graph registration never succeeded under %q", ep, faults)
+		return
+	}
+
+	// Baseline the survivor's shape before any load: goroutines and
+	// post-GC heap must return here once the episode drains.
+	g0, h0 := runtimeShape(t, survivor)
+
+	// Async load: a handful of deterministic jobs, retried through
+	// bounded submit faults; only accepted ids are tracked.
+	jobs := submitAsyncLoad(t, a.addr, graphID, ep)
+
+	// Idempotency pair, submitted while both nodes are healthy: two
+	// POSTs under one key must name one job.
+	idemKey := fmt.Sprintf("soak-%d", ep)
+	idemSeed := int64(1000 + ep)
+	idemID := submitIdempotentPair(t, a.addr, graphID, idemKey, idemSeed)
+	if idemID != "" {
+		jobs = append(jobs, &trackedJob{id: idemID, method: "dd", seed: idemSeed})
+	}
+
+	// A sync request whose budget is already spent must be turned away
+	// at the door — quickly, and never with a 2xx.
+	checkZeroBudgetFastFail(t, a.addr, graphID)
+
+	// A generously budgeted sync request may succeed or shed under
+	// faults; a success is held to the bit-identical control later.
+	syncDone := runBudgetedSync(t, a.addr, graphID, int64(2000+ep))
+
+	if kill {
+		// Let the load get going, then SIGKILL with no goodbye: recovery
+		// must come from probes, breakers, and the shared WAL.
+		time.Sleep(time.Duration(200+rng.Intn(400)) * time.Millisecond)
+		victim.cmd.Process.Kill()
+		victim.cmd.Wait()
+		victim.cmd = nil
+		// Give the survivor a beat to declare the peer down and adopt,
+		// then bring the victim back fault-free on the same dirs.
+		time.Sleep(time.Second)
+		startNode(t, bin, victim, root, peers, "")
+	}
+
+	// Drain: every accepted job reaches a terminal state.
+	drainJobs(t, []*node{a, b}, jobs, kill, hasErrorFault)
+	if t.Failed() {
+		return
+	}
+
+	// The survivor's goroutines and heap settle back to baseline.
+	checkRuntimeSettles(t, survivor, g0, h0)
+
+	// Final fault-free restart of BOTH nodes (SIGKILL, so recovery is
+	// pure WAL replay): nothing lost, done results intact, replayed
+	// pending work finishes, the idempotency key still dedups, and done
+	// assignments match a fault-free control run.
+	a.stop()
+	b.stop()
+	startNode(t, bin, a, root, peers, "")
+	startNode(t, bin, b, root, peers, "")
+	verifyAfterReplay(t, a.addr, graphID, jobs, idemKey, idemID, idemSeed, syncDone)
+}
+
+// soakSites is the fault menu: every site that sits on the job path,
+// each with an error and a delay flavor. Error faults are always
+// bounded (@skip+times) so the episode can converge.
+var soakSites = []struct {
+	site  string
+	modes []string
+}{
+	{"proxy.forward", []string{"error", "delay:30ms"}},
+	{"jobstore.append", []string{"error", "delay:10ms"}},
+	{"mcl.iterate", []string{"error", "delay:10ms"}},
+	{"csr.write", []string{"error", "delay:20ms"}},
+	{"pool.task", []string{"error", "delay:40ms"}},
+}
+
+// episodeFaults rolls a randomized SYMCLUSTER_FAULTS spec. Kill
+// episodes always slow the kernel so the SIGKILL lands mid-run.
+func episodeFaults(rng *rand.Rand, kill bool) (spec string, hasError bool) {
+	var parts []string
+	if kill {
+		parts = append(parts, "mcl.iterate=delay:25ms")
+	}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		s := soakSites[rng.Intn(len(soakSites))]
+		if kill && s.site == "mcl.iterate" {
+			continue // the unbounded slow-kernel entry already owns the site
+		}
+		mode := s.modes[rng.Intn(len(s.modes))]
+		skip, times := rng.Intn(3), 1+rng.Intn(2)
+		parts = append(parts, fmt.Sprintf("%s=%s@%d+%d", s.site, mode, skip, times))
+		if strings.HasPrefix(mode, "error") {
+			hasError = true
+		}
+	}
+	return strings.Join(parts, ";"), hasError
+}
+
+// startNode launches one cluster member on n.addr and waits for its
+// /healthz. Probe, breaker, and retry tuning is test-sized so failover
+// and breaker recovery both fit inside an episode.
+func startNode(t *testing.T, bin string, n *node, root, peers, faults string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", n.addr,
+		"-debug-addr", n.debug,
+		"-data-dir", root,
+		"-checkpoint-iters", "1",
+		"-workers", "1",
+		"-log-format", "text", "-log-level", "warn",
+		"-peers", peers,
+		"-self", n.addr,
+		"-probe-interval", "50ms",
+		"-peer-fail-threshold", "2",
+		"-peer-recover-threshold", "1",
+		"-proxy-timeout", "2s",
+		"-proxy-max-wait", "250ms",
+		"-breaker-fail-threshold", "3",
+		"-breaker-cooldown", "500ms",
+	)
+	cmd.Env = append(os.Environ(), "SYMCLUSTER_FAULTS="+faults)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.cmd = cmd
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + n.addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	n.stop()
+	t.Fatalf("node %s never became healthy", n.addr)
+}
+
+// registerGraph posts the block edge list, retrying through bounded
+// ingest/WAL faults. Returns "" if registration never lands.
+func registerGraph(t *testing.T, addr string) string {
+	t.Helper()
+	edges := blockEdges()
+	for i := 0; i < 8; i++ {
+		resp, err := soakClient.Post("http://"+addr+"/v1/graphs", "text/plain", strings.NewReader(edges))
+		if err == nil {
+			var info server.GraphInfo
+			dec := json.NewDecoder(resp.Body)
+			if resp.StatusCode < 300 && dec.Decode(&info) == nil && info.ID != "" {
+				resp.Body.Close()
+				return info.ID
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return ""
+}
+
+// submitAsyncLoad fires a handful of deterministic async jobs. Submits
+// rejected by injected faults are retried a few times; only accepted
+// ids are tracked (a rejected submission is not a lost job).
+func submitAsyncLoad(t *testing.T, addr, graphID string, ep int) []*trackedJob {
+	t.Helper()
+	methods := []string{"dd", "bib", "dd"}
+	var jobs []*trackedJob
+	for i, method := range methods {
+		seed := int64(ep*10 + i + 1)
+		req := server.ClusterRequest{GraphID: graphID, Method: method, Algorithm: "mcl", Inflation: 2, Seed: seed, Async: true}
+		if id := submitAsync(t, addr, req, ""); id != "" {
+			jobs = append(jobs, &trackedJob{id: id, method: method, seed: seed})
+		}
+	}
+	return jobs
+}
+
+// submitAsync posts one async request (optionally keyed) and returns
+// the accepted job id, or "" when every attempt was turned away.
+func submitAsync(t *testing.T, addr string, req server.ClusterRequest, idemKey string) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	for attempt := 0; attempt < 4; attempt++ {
+		hr, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/cluster", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		if idemKey != "" {
+			hr.Header.Set("Idempotency-Key", idemKey)
+		}
+		resp, err := soakClient.Do(hr)
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var ref server.JobRef
+			err := json.NewDecoder(resp.Body).Decode(&ref)
+			resp.Body.Close()
+			if err == nil && ref.JobID != "" {
+				return ref.JobID
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return ""
+}
+
+// submitIdempotentPair submits the same keyed async request twice and
+// requires both accepted copies to name the same job. Returns the job
+// id ("" when faults rejected the submissions — nothing to dedup).
+func submitIdempotentPair(t *testing.T, addr, graphID, key string, seed int64) string {
+	t.Helper()
+	req := server.ClusterRequest{GraphID: graphID, Method: "dd", Algorithm: "mcl", Inflation: 2, Seed: seed, Async: true}
+	first := submitAsync(t, addr, req, key)
+	if first == "" {
+		return ""
+	}
+	second := submitAsync(t, addr, req, key)
+	if second != "" && second != first {
+		t.Errorf("idempotency violated: key %q produced jobs %q and %q", key, first, second)
+	}
+	return first
+}
+
+// checkZeroBudgetFastFail sends a sync request whose deadline budget
+// is already spent: the cluster must refuse it without running
+// anything, and must answer at the deadline, not after the queue.
+func checkZeroBudgetFastFail(t *testing.T, addr, graphID string) {
+	t.Helper()
+	body, _ := json.Marshal(server.ClusterRequest{GraphID: graphID, Method: "bib", Algorithm: "mcl", Inflation: 2, Seed: 999})
+	hr, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/cluster", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	cluster.SetDeadlineHeader(hr.Header, 0)
+	start := time.Now()
+	resp, err := soakClient.Do(hr)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Errorf("zero-budget request errored instead of fast-failing: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode < 500 {
+		t.Errorf("zero-budget request returned %d; an expired deadline must never succeed", resp.StatusCode)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("zero-budget request took %v; expired deadlines must fail fast", elapsed)
+	}
+}
+
+// runBudgetedSync runs one generously budgeted sync request. Under
+// faults it may shed (5xx) — that is survival, not failure — but a 200
+// is recorded and later held to the fault-free control.
+func runBudgetedSync(t *testing.T, addr, graphID string, seed int64) *trackedJob {
+	t.Helper()
+	body, _ := json.Marshal(server.ClusterRequest{GraphID: graphID, Method: "bib", Algorithm: "mcl", Inflation: 2, Seed: seed})
+	hr, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/cluster", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	cluster.SetDeadlineHeader(hr.Header, 15*time.Second)
+	resp, err := soakClient.Do(hr)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var cr server.ClusterResponse
+	if json.NewDecoder(resp.Body).Decode(&cr) != nil || len(cr.Assign) == 0 {
+		t.Error("budgeted sync run returned 200 with no assignments")
+		return nil
+	}
+	return &trackedJob{method: "bib", seed: seed, state: "done", assign: fmt.Sprint(cr.Assign)}
+}
+
+// drainJobs polls every accepted job to a terminal state, tolerating
+// 502/503 while failover is in flight, then checks the state-machine
+// invariants: failed only under armed error faults, canceled only in
+// kill episodes, done always with assignments.
+func drainJobs(t *testing.T, nodes []*node, jobs []*trackedJob, kill, hasErrorFault bool) {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for _, job := range jobs {
+		var info server.JobInfo
+		for {
+			if getJobInfo(nodes, job.id, &info) && terminal(info.State) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("job %s lost: never reached a terminal state (last %q)", job.id, info.State)
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		job.state = info.State
+		switch info.State {
+		case "done":
+			if info.Result == nil || len(info.Result.Assign) == 0 {
+				t.Errorf("job %s done without assignments", job.id)
+				continue
+			}
+			job.assign = fmt.Sprint(info.Result.Assign)
+		case "failed":
+			if !hasErrorFault && !kill {
+				t.Errorf("job %s failed with no error fault armed: %s", job.id, info.Error)
+			}
+			if info.Error == "" {
+				t.Errorf("job %s failed without an error message", job.id)
+			}
+		case "canceled":
+			if !kill {
+				t.Errorf("job %s canceled in an episode that killed nothing", job.id)
+			}
+		}
+	}
+}
+
+// getJobInfo asks each live node for the qualified job id, accepting
+// the first 200. False while the cluster is mid-failover.
+func getJobInfo(nodes []*node, id string, out *server.JobInfo) bool {
+	for _, n := range nodes {
+		if n.cmd == nil {
+			continue
+		}
+		resp, err := http.Get("http://" + n.addr + "/v1/jobs/" + id)
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(body, out) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// runtimeShape samples a node's live goroutines and post-GC heap via
+// its runtime gauges, forcing a collection through the pprof heap
+// endpoint first so the heap number is garbage-free.
+func runtimeShape(t *testing.T, n *node) (goroutines, heap int64) {
+	t.Helper()
+	forceGC(n)
+	body := scrape(t, n.addr)
+	g := gaugeValue(body, "symclusterd_runtime_goroutines")
+	h := gaugeValue(body, "symclusterd_runtime_heap_inuse_bytes")
+	if g < 0 || h < 0 {
+		t.Fatalf("node %s exports no runtime gauges:\n%s", n.addr, body)
+	}
+	return g, h
+}
+
+// checkRuntimeSettles polls the survivor until its goroutine count and
+// heap return to the pre-load baseline (with slack for idle HTTP
+// conns and allocator hysteresis), failing if they never do — the
+// episode leaked.
+func checkRuntimeSettles(t *testing.T, n *node, g0, h0 int64) {
+	t.Helper()
+	maxG := g0 + 15
+	maxH := 2*h0 + 64<<20
+	deadline := time.Now().Add(15 * time.Second)
+	var g, h int64
+	for {
+		forceGC(n)
+		body := scrape(t, n.addr)
+		g = gaugeValue(body, "symclusterd_runtime_goroutines")
+		h = gaugeValue(body, "symclusterd_runtime_heap_inuse_bytes")
+		if g >= 0 && g <= maxG && h >= 0 && h <= maxH {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Errorf("survivor %s did not settle: goroutines %d (baseline %d, cap %d), heap %d (baseline %d, cap %d)",
+		n.addr, g, g0, maxG, h, h0, maxH)
+}
+
+// forceGC hits the node's pprof heap endpoint with gc=1, which runs a
+// full collection before writing the profile.
+func forceGC(n *node) {
+	resp, err := http.Get("http://" + n.debug + "/debug/pprof/heap?gc=1")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// verifyAfterReplay checks the world after a fault-free SIGKILL
+// restart of both nodes: every tracked job is still resolvable, done
+// results survived with their assignments intact, replayed pending
+// work finishes, the idempotency key still dedups, and every recorded
+// done result matches a fresh fault-free control run bit for bit.
+func verifyAfterReplay(t *testing.T, addr, graphID string, jobs []*trackedJob, idemKey, idemID string, idemSeed int64, syncDone *trackedJob) {
+	t.Helper()
+	// Re-register the graph first: an injected fault may have eaten the
+	// durable CSR write (registration deliberately degrades to
+	// memory-only and logs), in which case the graph died with the
+	// episode's processes. Ids are content hashes, so re-registering
+	// heals the same id — the documented client recovery — and must
+	// never mint a different one.
+	if healed := registerGraph(t, addr); healed != graphID {
+		t.Errorf("re-registered graph id %q != original %q: content hashing broke", healed, graphID)
+		return
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for _, job := range jobs {
+		var info server.JobInfo
+		for {
+			if ok := getJobInfoAddr(addr, job.id, &info); ok && terminal(info.State) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("job %s lost across replay: state %q", job.id, info.State)
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if job.state == "done" {
+			if info.State != "done" {
+				t.Errorf("job %s was done before replay, now %q", job.id, info.State)
+				continue
+			}
+			if got := fmt.Sprint(info.Result.Assign); got != job.assign {
+				t.Errorf("job %s result changed across replay:\n  before %s\n  after  %s", job.id, job.assign, got)
+			}
+		}
+		// A job that was pending/failed pre-replay may legitimately have
+		// been re-run fault-free; done or failed are both terminal truth.
+	}
+
+	// The idempotency key journaled before the replay still dedups.
+	if idemID != "" {
+		req := server.ClusterRequest{GraphID: graphID, Method: "dd", Algorithm: "mcl", Inflation: 2, Seed: idemSeed, Async: true}
+		if again := submitAsync(t, addr, req, idemKey); again != "" && again != idemID {
+			t.Errorf("idempotency key %q forgot job %q across replay; new job %q", idemKey, idemID, again)
+		}
+	}
+
+	// Fault-free controls: every done result must be reproducible bit
+	// for bit on the healthy cluster.
+	controls := append([]*trackedJob(nil), jobs...)
+	if syncDone != nil {
+		controls = append(controls, syncDone)
+	}
+	for _, job := range controls {
+		if job.state != "done" || job.assign == "" {
+			continue
+		}
+		body, _ := json.Marshal(server.ClusterRequest{GraphID: graphID, Method: job.method, Algorithm: "mcl", Inflation: 2, Seed: job.seed})
+		resp, err := soakClient.Post("http://"+addr+"/v1/cluster", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("control run for (%s, seed %d) errored: %v", job.method, job.seed, err)
+			continue
+		}
+		var cr server.ClusterResponse
+		decodeErr := json.NewDecoder(resp.Body).Decode(&cr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			t.Errorf("control run for (%s, seed %d): status %d, decode %v", job.method, job.seed, resp.StatusCode, decodeErr)
+			continue
+		}
+		if got := fmt.Sprint(cr.Assign); got != job.assign {
+			t.Errorf("(%s, seed %d) diverged from fault-free control:\n  soak    %s\n  control %s", job.method, job.seed, job.assign, got)
+		}
+	}
+}
+
+// getJobInfoAddr is getJobInfo against one known-healthy node.
+func getJobInfoAddr(addr, id string, out *server.JobInfo) bool {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return false
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK && json.Unmarshal(body, out) == nil
+}
+
+// scrape fetches one node's /metrics exposition.
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// gaugeValue extracts one un-labelled metric's value, or -1 if absent.
+func gaugeValue(body, name string) int64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+				return int64(v)
+			}
+		}
+	}
+	return -1
+}
+
+// buildRaceBinary compiles symclusterd with the race detector enabled
+// — the soak cluster runs entirely under -race.
+func buildRaceBinary(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "symclusterd")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, "./cmd/symclusterd")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building symclusterd -race: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves an ephemeral port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// blockEdges mirrors the 4×30 block graph the durability e2e tests
+// use: deterministic, clusterable, big enough for MCL to iterate.
+func blockEdges() string {
+	x := uint64(7)
+	next := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	var b strings.Builder
+	const blocks, size = 4, 30
+	n := blocks * size
+	for i := 0; i < n; i++ {
+		bi := i / size
+		for d := 0; d < 6; d++ {
+			var j int
+			if d < 4 {
+				j = bi*size + int(next()%uint64(size))
+			} else {
+				j = int(next() % uint64(n))
+			}
+			if j != i {
+				fmt.Fprintf(&b, "%d %d\n", i, j)
+			}
+		}
+	}
+	return b.String()
+}
